@@ -1,0 +1,15 @@
+"""Shared scale knob for the benchmark harness.
+
+Set REPRO_BENCH_OPS to raise the per-thread operation count (default 16;
+the paper uses ~6250 per thread).  Results are printed in the shape of
+the corresponding paper table/figure.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_ops() -> int:
+    return int(os.environ.get("REPRO_BENCH_OPS", "16"))

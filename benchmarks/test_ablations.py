@@ -1,0 +1,112 @@
+"""Ablations of the design choices documented in DESIGN.md.
+
+Not a paper figure — these benches justify the reproduction's modelling
+decisions and measure the Section VII future-work extension:
+
+* undo vs redo logging under strand persistency (group-commit sweep),
+* controller write-coalescing on/off,
+* steady-state (warm L2) vs cold caches.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.harness.report import render_table
+from repro.sim.config import TABLE_I
+from repro.sim.machine import Machine
+from repro.workloads import WORKLOADS, WorkloadConfig, generate_for_design
+
+CFG = WorkloadConfig(n_threads=8, ops_per_thread=16, log_entries=4096,
+                     pm_size=1 << 23)
+
+
+def run_once(bench, design, model, machine_cfg=TABLE_I, warm=True, **model_kwargs):
+    run = generate_for_design(WORKLOADS[bench], CFG, design, model, **model_kwargs)
+    return Machine(design, machine_cfg).run(run.program, warm=warm)
+
+
+def test_undo_vs_redo_logging(benchmark):
+    """Section VII sketch: redo logging with group commit on StrandWeaver.
+
+    Group commits larger than one defer in-place updates past lock
+    hand-off and are single-thread only, so the batch sweep runs on one
+    thread while the multi-threaded column uses per-transaction commits.
+    """
+    single = replace(CFG, n_threads=1, ops_per_thread=48)
+
+    def work():
+        rows = []
+        for bench in ("queue", "hashmap", "nstore-wr"):
+            undo = run_once(bench, "strandweaver", "txn")
+            redo1 = run_once(bench, "strandweaver", "redo-txn", group_commit=1)
+            run_u1 = generate_for_design(WORKLOADS[bench], single, "strandweaver", "txn")
+            u1 = Machine("strandweaver").run(run_u1.program)
+            run_r4 = generate_for_design(
+                WORKLOADS[bench], single, "strandweaver", "redo-txn", group_commit=4
+            )
+            r4 = Machine("strandweaver").run(run_r4.program)
+            rows.append([
+                bench,
+                int(undo.cycles),
+                int(redo1.cycles),
+                int(u1.cycles),
+                int(r4.cycles),
+                u1.cycles / r4.cycles,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(work, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Undo vs redo logging on StrandWeaver (cycles)",
+        ["benchmark", "undo 8t", "redo gc=1 8t", "undo 1t", "redo gc=4 1t",
+         "gc=4 speedup"],
+        rows,
+        col_width=14,
+    ))
+    # Group commit must not be catastrophically slower than undo logging.
+    assert all(row[5] > 0.5 for row in rows)
+
+
+def test_write_coalescing_ablation(benchmark):
+    def work():
+        rows = []
+        no_coalesce = replace(TABLE_I, pm=replace(TABLE_I.pm, coalesce_writes=False))
+        for bench in ("queue", "nstore-wr"):
+            on = run_once(bench, "strandweaver", "txn")
+            off = run_once(bench, "strandweaver", "txn", machine_cfg=no_coalesce)
+            rows.append([bench, int(on.cycles), int(off.cycles), off.cycles / on.cycles])
+        return rows
+
+    rows = benchmark.pedantic(work, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Controller write coalescing (StrandWeaver cycles)",
+        ["benchmark", "coalescing on", "coalescing off", "slowdown off"],
+        rows,
+        col_width=16,
+    ))
+    # Without coalescing the repeated log-line flushes saturate the media.
+    assert all(row[3] >= 1.0 for row in rows)
+
+
+def test_steady_state_warmup_ablation(benchmark):
+    def work():
+        rows = []
+        for bench in ("hashmap", "rbtree"):
+            warm = run_once(bench, "intel-x86", "txn", warm=True)
+            cold = run_once(bench, "intel-x86", "txn", warm=False)
+            rows.append([bench, int(warm.cycles), int(cold.cycles),
+                         cold.cycles / warm.cycles])
+        return rows
+
+    rows = benchmark.pedantic(work, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Steady-state warm L2 vs cold caches (Intel x86 cycles)",
+        ["benchmark", "warm", "cold", "cold slowdown"],
+        rows,
+        col_width=14,
+    ))
+    assert all(row[3] >= 1.0 for row in rows)

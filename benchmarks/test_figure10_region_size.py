@@ -1,0 +1,16 @@
+"""Figure 10: StrandWeaver speedup vs operations per SFR."""
+
+from repro.harness import figure10
+
+
+def test_figure10(benchmark, bench_ops):
+    result = benchmark.pedantic(
+        figure10, kwargs={"ops_per_thread": max(16, bench_ops)},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    means = [result.summary[k] for k in sorted(result.summary,
+                                               key=lambda k: int(k.split("_")[0]))]
+    # Shape: speedup grows with the number of operations per region.
+    assert means[-1] >= means[0]

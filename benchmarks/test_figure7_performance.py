@@ -1,0 +1,29 @@
+"""Figure 7: speedup of each hardware design over Intel x86."""
+
+import pytest
+
+from repro.harness import figure7, model_sensitivity
+
+
+@pytest.mark.parametrize("model", ["txn", "atlas", "sfr"])
+def test_figure7(benchmark, bench_ops, model):
+    result = benchmark.pedantic(
+        figure7, kwargs={"model": model, "ops_per_thread": bench_ops},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    geo = result.rows[-1]
+    by = {result.columns[i]: geo[i] for i in range(1, len(result.columns))}
+    assert by["strandweaver"] > 1.0
+    assert by["non-atomic"] >= by["strandweaver"]
+
+
+def test_model_sensitivity(benchmark, bench_ops):
+    result = benchmark.pedantic(
+        model_sensitivity, kwargs={"ops_per_thread": bench_ops},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    assert all(v > 1.0 for v in result.summary.values())

@@ -1,0 +1,14 @@
+"""Figure 8: CPU persist-ordering stalls, normalised to Intel x86."""
+
+from repro.harness import figure8
+
+
+def test_figure8(benchmark, bench_ops):
+    result = benchmark.pedantic(
+        figure8, kwargs={"ops_per_thread": bench_ops}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Shape: StrandWeaver removes most of x86's persist-order stalls
+    # (paper: 62.4% fewer).
+    assert result.summary["strandweaver_stall_reduction_pct"] > 30.0

@@ -1,0 +1,15 @@
+"""Figure 9: sensitivity to the strand-buffer configuration."""
+
+from repro.harness import figure9
+
+
+def test_figure9(benchmark, bench_ops):
+    result = benchmark.pedantic(
+        figure9, kwargs={"ops_per_thread": bench_ops}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    s = result.summary
+    # Shape: performance saturates around (4 buffers, 4 entries).
+    assert s["(4,4)"] >= s["(1,1)"]
+    assert s["(8,8)"] <= s["(4,4)"] * 1.1

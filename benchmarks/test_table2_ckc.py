@@ -1,0 +1,14 @@
+"""Table II: benchmark write intensity (CLWBs per thousand cycles)."""
+
+from repro.harness import table2
+
+
+def test_table2_ckc(benchmark, bench_ops):
+    result = benchmark.pedantic(
+        table2, kwargs={"ops_per_thread": bench_ops}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    ckc = {row[0]: row[2] for row in result.rows}
+    # Shape: N-Store write-heavy is the most write-intensive benchmark.
+    assert ckc["nstore-wr"] == max(ckc.values())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Crash-and-recover demo (Figures 5 and 6 end to end).
+
+Runs the persistent hashmap under StrandWeaver's strand dialect, then
+simulates crashes by sampling consistent cuts of the formal persist DAG,
+materialises each crash image, runs undo-log recovery on it, and verifies
+every data-structure invariant.  Finally it repeats the experiment with
+the NON-ATOMIC dialect (no ordering primitives) and shows recovery
+breaking — which is exactly why persist ordering matters.
+"""
+
+import random
+
+from repro.core.crash import frontier_cut, materialise, random_cut
+from repro.core.model import PersistDag
+from repro.lang.dialect import NonAtomicDialect, StrandDialect
+from repro.lang.recovery import recover
+from repro.lang.runtime import DirectAccessor
+from repro.lang.txn import TxnModel
+from repro.workloads import WORKLOADS, CheckFailure, WorkloadConfig, generate
+
+CFG = WorkloadConfig(n_threads=4, ops_per_thread=12, log_entries=2048,
+                     pm_size=1 << 21)
+N_CRASHES = 25
+
+
+def crash_campaign(dialect, label: str) -> None:
+    run = generate(WORKLOADS["hashmap"], CFG, dialect, TxnModel(durable_commit=True))
+    dag = PersistDag(run.program)
+    rng = random.Random(2020)
+    ok = bad = 0
+    rolled = 0
+    for i in range(N_CRASHES):
+        cut = (random_cut(dag, rng, 0.5) if i % 2 else frontier_cut(dag, rng, 0.3))
+        image = materialise(dag, cut, run.space)
+        report = recover(image, run.layout)
+        rolled += report.n_rolled_back
+        try:
+            run.workload.check(DirectAccessor(image))
+            ok += 1
+        except CheckFailure as exc:
+            bad += 1
+            if bad == 1:
+                print(f"    first violation: {exc}")
+    print(f"  {label}: {ok}/{N_CRASHES} crash states recovered consistently, "
+          f"{bad} violations, {rolled} log entries rolled back in total")
+
+
+def main() -> None:
+    print(f"Simulating {N_CRASHES} crashes of the persistent hashmap...\n")
+    print("With StrandWeaver ordering (log -> barrier -> update -> NewStrand):")
+    crash_campaign(StrandDialect(), "strand persistency")
+    print("\nWith NO ordering primitives (the NON-ATOMIC upper bound):")
+    crash_campaign(NonAtomicDialect(), "non-atomic")
+    print("\nThe non-atomic runtime is faster but unrecoverable — the pairwise")
+    print("log-before-update ordering is the minimum StrandWeaver preserves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Design-space exploration: strand-buffer sizing and region granularity.
+
+Reproduces the two sensitivity studies of Section VI-C at a small scale:
+Figure 9 (number of strand buffers x entries per buffer) and Figure 10
+(operations per failure-atomic SFR), then prints a short ablation of the
+persist queue (StrandWeaver vs NO-PERSIST-QUEUE vs Intel x86).
+"""
+
+from repro.harness import figure9, figure10, run_cell
+from repro.harness.report import render_table
+
+OPS = 16
+
+
+def persist_queue_ablation() -> None:
+    rows = []
+    for bench in ("queue", "rbtree", "nstore-wr"):
+        base = run_cell(bench, "intel-x86", "txn", ops_per_thread=OPS)
+        row = [bench]
+        for design in ("no-persist-queue", "strandweaver"):
+            st = run_cell(bench, design, "txn", ops_per_thread=OPS)
+            row.append(st.speedup_over(base))
+        rows.append(row)
+    print(render_table(
+        "Persist-queue ablation (speedup over x86)",
+        ["benchmark", "no-persist-queue", "strandweaver"],
+        rows,
+        col_width=18,
+    ))
+
+
+def main() -> None:
+    print(figure9(ops_per_thread=OPS).render())
+    print("\nThe paper configures 4 buffers x 4 entries: the knee of the curve.\n")
+    print(figure10(ops_per_thread=OPS).render())
+    print("\nLarger failure-atomic regions expose more independent log/update")
+    print("pairs, so StrandWeaver's advantage grows with region size.\n")
+    persist_queue_ablation()
+
+
+if __name__ == "__main__":
+    main()

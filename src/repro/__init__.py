@@ -1,0 +1,48 @@
+"""StrandWeaver reproduction: relaxed persist ordering using strand
+persistency (Gogte et al., ISCA 2020).
+
+Public API overview
+===================
+
+Formal model and crash states
+    :class:`repro.core.model.PersistDag`, :mod:`repro.core.crash`
+
+Timing simulation
+    :class:`repro.sim.machine.Machine`, :data:`repro.sim.machine.DESIGNS`,
+    :class:`repro.sim.config.MachineConfig`
+
+Language-level persistency runtimes
+    :class:`repro.lang.runtime.PmRuntime`, the TXN/ATLAS/SFR models, and
+    :func:`repro.lang.recovery.recover`
+
+Benchmarks and experiments
+    :data:`repro.workloads.WORKLOADS`, :mod:`repro.harness.figures`
+"""
+
+from repro.core.model import PersistDag
+from repro.core.ops import Op, OpKind, Program, TraceCursor
+from repro.lang.recovery import recover
+from repro.pmem.space import PersistentMemory
+from repro.sim.config import TABLE_I, MachineConfig
+from repro.sim.machine import DESIGNS, Machine, run_design
+from repro.workloads import WORKLOADS, WorkloadConfig, generate_for_design
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DESIGNS",
+    "Machine",
+    "MachineConfig",
+    "Op",
+    "OpKind",
+    "PersistDag",
+    "PersistentMemory",
+    "Program",
+    "TABLE_I",
+    "TraceCursor",
+    "WORKLOADS",
+    "WorkloadConfig",
+    "generate_for_design",
+    "recover",
+    "run_design",
+]

@@ -1,0 +1,57 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro [table1|table2|fig7|fig8|fig9|fig10|models|all] [--ops N]
+"""
+
+import argparse
+import sys
+
+from repro.harness import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    model_sensitivity,
+    table1,
+    table2,
+)
+
+ARTEFACTS = {
+    "table1": lambda ops: table1(),
+    "table2": lambda ops: table2(ops_per_thread=ops),
+    "fig7": lambda ops: figure7(ops_per_thread=ops),
+    "fig8": lambda ops: figure8(ops_per_thread=ops),
+    "fig9": lambda ops: figure9(ops_per_thread=ops),
+    "fig10": lambda ops: figure10(ops_per_thread=ops),
+    "models": lambda ops: model_sensitivity(ops_per_thread=ops),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="StrandWeaver reproduction: regenerate evaluation artefacts",
+    )
+    parser.add_argument(
+        "artefact",
+        nargs="?",
+        default="all",
+        choices=sorted(ARTEFACTS) + ["all"],
+        help="which table/figure to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=16,
+        help="operations per thread (default 16; the paper used ~6250)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(ARTEFACTS) if args.artefact == "all" else [args.artefact]
+    for name in names:
+        print(ARTEFACTS[name](args.ops).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,288 @@
+"""Micro-operation IR for StrandWeaver traces.
+
+The language-level runtimes (:mod:`repro.lang`) compile persistent-memory
+programs down to a stream of micro-operations per logical thread.  The same
+stream feeds two consumers:
+
+* the **formal persistency model** (:mod:`repro.core.model`), which derives
+  the persist memory order (PMO) prescribed by Equations 1-4 of the paper,
+  and
+* the **timing simulator** (:mod:`repro.sim`), which replays the stream
+  through one of the ISA-level hardware designs (Intel x86, HOPS,
+  StrandWeaver, ...) and reports cycles and stall breakdowns.
+
+Micro-op vocabulary (paper section the op comes from in parentheses):
+
+=================  =============================================================
+``STORE``          store to persistent memory (a *persist* once drained)
+``LOAD``           load from persistent memory
+``CLWB``           non-invalidating cache-line write-back (II-B)
+``SFENCE``         Intel persist barrier: orders CLWBs *and* stalls stores (II-B)
+``PERSIST_BARRIER``strand-local persist barrier, Eq. 1 (III)
+``NEW_STRAND``     begin a new strand, clears prior ordering, Eq. 1 (III)
+``JOIN_STRAND``    merge prior strands, Eq. 2 (III)
+``OFENCE``         HOPS lightweight ordering fence (VI-A)
+``DFENCE``         HOPS durability fence (VI-A)
+``LOCK_ACQ``       acquire a named lock (synchronises threads)
+``LOCK_REL``       release a named lock
+``COMPUTE``        opaque CPU work measured in cycles
+``VSTORE``         store to *volatile* (DRAM) memory — never persists
+``VLOAD``          load from volatile memory
+=================  =============================================================
+
+Stores carry the written bytes so that crash images can be materialised by
+replaying an arbitrary consistent cut of the persist DAG
+(:mod:`repro.core.crash`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+CACHE_LINE = 64
+
+
+class OpKind(IntEnum):
+    """Discriminator for micro-operations."""
+
+    STORE = 0
+    LOAD = 1
+    CLWB = 2
+    SFENCE = 3
+    PERSIST_BARRIER = 4
+    NEW_STRAND = 5
+    JOIN_STRAND = 6
+    OFENCE = 7
+    DFENCE = 8
+    LOCK_ACQ = 9
+    LOCK_REL = 10
+    COMPUTE = 11
+    VSTORE = 12
+    VLOAD = 13
+
+
+#: Kinds that reference a persistent-memory address.
+ADDRESSED_KINDS = frozenset(
+    {OpKind.STORE, OpKind.LOAD, OpKind.CLWB, OpKind.VSTORE, OpKind.VLOAD}
+)
+
+#: Ordering primitives of the strand persistency model.
+STRAND_PRIMITIVES = frozenset(
+    {OpKind.PERSIST_BARRIER, OpKind.NEW_STRAND, OpKind.JOIN_STRAND}
+)
+
+#: Every fence-like op across all ISA designs.
+FENCE_KINDS = frozenset(
+    {
+        OpKind.SFENCE,
+        OpKind.PERSIST_BARRIER,
+        OpKind.NEW_STRAND,
+        OpKind.JOIN_STRAND,
+        OpKind.OFENCE,
+        OpKind.DFENCE,
+    }
+)
+
+
+def line_of(addr: int) -> int:
+    """Return the cache-line index containing byte address ``addr``."""
+    return addr // CACHE_LINE
+
+
+def lines_of(addr: int, size: int) -> Tuple[int, ...]:
+    """Return all cache-line indices touched by ``[addr, addr+size)``."""
+    if size <= 0:
+        return ()
+    first = addr // CACHE_LINE
+    last = (addr + size - 1) // CACHE_LINE
+    return tuple(range(first, last + 1))
+
+
+@dataclass
+class Op:
+    """One micro-operation in a thread's instruction stream.
+
+    Attributes:
+        kind: operation discriminator.
+        addr: byte address for addressed ops (PM or volatile), else 0.
+        size: access size in bytes for addressed ops.
+        data: bytes written by a ``STORE``; empty otherwise.
+        lock_id: lock identity for ``LOCK_ACQ``/``LOCK_REL``.
+        cycles: CPU work for ``COMPUTE`` ops.
+        tid: owning logical thread id (assigned when appended to a trace).
+        seq: index within the owning thread's stream.
+        gseq: position in the global visibility order (volatile memory
+            order); assigned by the trace builder as ops are emitted, so a
+            smaller ``gseq`` means "became visible earlier" under TSO.
+        region: id of the enclosing failure-atomic region, or -1.
+        label: free-form tag used by tests and examples (e.g. ``"log:A"``).
+    """
+
+    kind: OpKind
+    addr: int = 0
+    size: int = 0
+    data: bytes = b""
+    lock_id: int = -1
+    cycles: int = 0
+    tid: int = -1
+    seq: int = -1
+    gseq: int = -1
+    region: int = -1
+    label: str = ""
+
+    def is_pm_store(self) -> bool:
+        return self.kind is OpKind.STORE
+
+    def is_clwb(self) -> bool:
+        return self.kind is OpKind.CLWB
+
+    def touches(self, other: "Op") -> bool:
+        """True when both ops address overlapping bytes."""
+        if self.kind not in ADDRESSED_KINDS or other.kind not in ADDRESSED_KINDS:
+            return False
+        return self.addr < other.addr + other.size and other.addr < self.addr + self.size
+
+    def line(self) -> int:
+        return line_of(self.addr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        base = f"{self.kind.name}"
+        if self.kind in ADDRESSED_KINDS:
+            base += f"(0x{self.addr:x},{self.size})"
+        elif self.kind in (OpKind.LOCK_ACQ, OpKind.LOCK_REL):
+            base += f"(lock={self.lock_id})"
+        elif self.kind is OpKind.COMPUTE:
+            base += f"({self.cycles}cy)"
+        if self.label:
+            base += f"[{self.label}]"
+        return base
+
+
+class ThreadTrace:
+    """Ordered micro-op stream of one logical thread."""
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.ops: List[Op] = []
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self.ops)
+
+    def __getitem__(self, idx: int) -> Op:
+        return self.ops[idx]
+
+    def append(self, op: Op, gseq: int) -> Op:
+        op.tid = self.tid
+        op.seq = len(self.ops)
+        op.gseq = gseq
+        self.ops.append(op)
+        return op
+
+
+class Program:
+    """A multi-threaded micro-op program with a fixed visibility order.
+
+    The functional front end executes workloads under a deterministic
+    cooperative scheduler, which serialises all memory operations into a
+    single global order.  That order *is* the volatile memory order (VMO)
+    used by the formal model: it is a legal TSO execution because each
+    thread's ops appear in program order and conflicting accesses are
+    serialised.
+    """
+
+    def __init__(self, n_threads: int) -> None:
+        self.threads: List[ThreadTrace] = [ThreadTrace(t) for t in range(n_threads)]
+        self._next_gseq = 0
+        #: FIFO acquisition order per lock, fixed at generation time and
+        #: replayed by the timing simulator.
+        self.lock_order: Dict[int, List[int]] = {}
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    def emit(self, tid: int, op: Op) -> Op:
+        """Append ``op`` to thread ``tid`` at the next visibility slot."""
+        if op.kind is OpKind.LOCK_ACQ:
+            self.lock_order.setdefault(op.lock_id, []).append(tid)
+        out = self.threads[tid].append(op, self._next_gseq)
+        self._next_gseq += 1
+        return out
+
+    def all_ops(self) -> List[Op]:
+        """Every op of every thread in global visibility (gseq) order."""
+        merged = [op for trace in self.threads for op in trace.ops]
+        merged.sort(key=lambda op: op.gseq)
+        return merged
+
+    def pm_stores(self) -> List[Op]:
+        """All persistent stores in visibility order."""
+        return [op for op in self.all_ops() if op.kind is OpKind.STORE]
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of op kinds across all threads (for reporting)."""
+        out: Dict[str, int] = {}
+        for trace in self.threads:
+            for op in trace.ops:
+                out[op.kind.name] = out.get(op.kind.name, 0) + 1
+        return out
+
+
+@dataclass
+class TraceCursor:
+    """Mutable emission helper bound to one thread of a :class:`Program`."""
+
+    program: Program
+    tid: int
+    region: int = -1
+
+    def _emit(self, op: Op) -> Op:
+        op.region = self.region
+        return self.program.emit(self.tid, op)
+
+    def store(self, addr: int, data: bytes, label: str = "") -> Op:
+        return self._emit(Op(OpKind.STORE, addr=addr, size=len(data), data=data, label=label))
+
+    def load(self, addr: int, size: int, label: str = "") -> Op:
+        return self._emit(Op(OpKind.LOAD, addr=addr, size=size, label=label))
+
+    def vstore(self, addr: int, size: int, label: str = "") -> Op:
+        return self._emit(Op(OpKind.VSTORE, addr=addr, size=size, label=label))
+
+    def vload(self, addr: int, size: int, label: str = "") -> Op:
+        return self._emit(Op(OpKind.VLOAD, addr=addr, size=size, label=label))
+
+    def clwb(self, addr: int, size: int = CACHE_LINE, label: str = "") -> Op:
+        return self._emit(Op(OpKind.CLWB, addr=addr, size=size, label=label))
+
+    def sfence(self) -> Op:
+        return self._emit(Op(OpKind.SFENCE))
+
+    def persist_barrier(self) -> Op:
+        return self._emit(Op(OpKind.PERSIST_BARRIER))
+
+    def new_strand(self) -> Op:
+        return self._emit(Op(OpKind.NEW_STRAND))
+
+    def join_strand(self) -> Op:
+        return self._emit(Op(OpKind.JOIN_STRAND))
+
+    def ofence(self) -> Op:
+        return self._emit(Op(OpKind.OFENCE))
+
+    def dfence(self) -> Op:
+        return self._emit(Op(OpKind.DFENCE))
+
+    def lock(self, lock_id: int) -> Op:
+        return self._emit(Op(OpKind.LOCK_ACQ, lock_id=lock_id))
+
+    def unlock(self, lock_id: int) -> Op:
+        return self._emit(Op(OpKind.LOCK_REL, lock_id=lock_id))
+
+    def compute(self, cycles: int) -> Op:
+        return self._emit(Op(OpKind.COMPUTE, cycles=cycles))

@@ -1,0 +1,26 @@
+"""Experiment drivers regenerating the paper's tables and figures."""
+
+from repro.harness.experiment import ALL_DESIGNS, ALL_MODELS, run_cell, speedup
+from repro.harness.figures import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    model_sensitivity,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "ALL_DESIGNS",
+    "ALL_MODELS",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "model_sensitivity",
+    "run_cell",
+    "speedup",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,48 @@
+"""Language-level persistency models and undo/redo logging runtimes."""
+
+from repro.lang.atlas import AtlasModel
+from repro.lang.dialect import (
+    DIALECTS,
+    HopsDialect,
+    IsaDialect,
+    NonAtomicDialect,
+    StrandDialect,
+    X86Dialect,
+    dialect_for_design,
+)
+from repro.lang.logbuf import LogEntry, LogError, LogLayout
+from repro.lang.recovery import RecoveryReport, recover
+from repro.lang.redo import RedoTxnModel
+from repro.lang.runtime import (
+    Accessor,
+    DirectAccessor,
+    PersistencyModel,
+    PmRuntime,
+    RuntimeAccessor,
+)
+from repro.lang.sfr import SfrModel
+from repro.lang.txn import TxnModel
+
+__all__ = [
+    "Accessor",
+    "AtlasModel",
+    "DIALECTS",
+    "DirectAccessor",
+    "HopsDialect",
+    "IsaDialect",
+    "LogEntry",
+    "LogError",
+    "LogLayout",
+    "NonAtomicDialect",
+    "PersistencyModel",
+    "PmRuntime",
+    "RecoveryReport",
+    "RedoTxnModel",
+    "RuntimeAccessor",
+    "SfrModel",
+    "StrandDialect",
+    "TxnModel",
+    "X86Dialect",
+    "dialect_for_design",
+    "recover",
+]

@@ -1,0 +1,45 @@
+"""ATLAS: failure-atomic outermost critical sections ([11], Section V).
+
+A region spans from the acquisition of the first lock (depth 0 -> 1) to
+the release of the last (depth 1 -> 0).  ATLAS logs every synchronization
+operation with happens-before metadata; the paper notes its mechanisms
+are "heavier-weight" than SFR's, which we model as extra bookkeeping
+compute and a metadata log entry per sync operation.  Commits are issued
+at the end of every outermost critical section.
+"""
+
+from __future__ import annotations
+
+from repro.lang import logbuf
+from repro.lang.runtime import PersistencyModel, PmRuntime
+
+
+class AtlasModel(PersistencyModel):
+    """Outermost-critical-section failure atomicity with undo logging."""
+
+    name = "atlas"
+    enclose_regions = True
+
+    def __init__(self, durable_commit: bool = False) -> None:
+        self.durable_commit = durable_commit
+
+    #: cycles of happens-before bookkeeping per synchronization operation
+    #: (lock ownership tables and hb-graph maintenance in ATLAS's runtime).
+    SYNC_COMPUTE = 260
+
+    def on_lock(self, rt: PmRuntime, tid: int, lock_id: int) -> None:
+        state = rt._threads[tid]
+        rt.compute(tid, self.SYNC_COMPUTE)
+        if state.lock_depth == 1:  # depth already incremented: outermost
+            rt._open_region(tid, logbuf.ACQUIRE)
+        else:
+            # Nested acquire: log the sync op inside the open region.
+            rt._append_entry(tid, logbuf.ACQUIRE, addr=lock_id)
+
+    def on_unlock(self, rt: PmRuntime, tid: int, lock_id: int) -> None:
+        state = rt._threads[tid]
+        rt.compute(tid, self.SYNC_COMPUTE)
+        if state.lock_depth == 1:  # releasing the outermost lock
+            rt._close_region(tid, logbuf.RELEASE, commit_now=True)
+        else:
+            rt._append_entry(tid, logbuf.RELEASE, addr=lock_id)

@@ -1,0 +1,174 @@
+"""Per-thread circular undo log in persistent memory (Section V).
+
+Log layout in PM, per thread::
+
+    +0    header line (64 B): head index (u64), capacity (u64),
+          retired sequence watermark (u64)
+    +64   entry 0 (64 B)
+    +128  entry 1 (64 B)
+    ...
+
+Entry layout (64 bytes, cache-line aligned, written as one persist)::
+
+    +0   u8   type        (FREE/STORE/ACQUIRE/RELEASE/TX_BEGIN/TX_END)
+    +1   u8   valid
+    +2   u8   commit      (commit-intent marker, Fig. 6)
+    +3   u8   size        (bytes of old value, <= 40)
+    +4   u32  tid
+    +8   u64  addr        (address of the update for STORE entries)
+    +16  40B  value       (old value / happens-before metadata)
+    +56  u64  seq         (global creation sequence — our stand-in for the
+                           happens-before metadata of ATLAS/SFR logs)
+
+The paper stores happens-before relations for synchronization entries; we
+record a single global creation sequence number in every entry, which
+gives recovery the same reverse-creation-order rollback the paper's
+metadata enables (see DESIGN.md deviations).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.pmem.space import PersistentMemory
+
+ENTRY_SIZE = 64
+HEADER_SIZE = 64
+MAX_VALUE = 40
+
+# Entry types.
+FREE = 0
+STORE = 1
+ACQUIRE = 2
+RELEASE = 3
+TX_BEGIN = 4
+TX_END = 5
+REDO = 6  #: redo-log entry: ``value`` holds the NEW data to replay
+
+TYPE_NAMES = {
+    FREE: "free",
+    STORE: "store",
+    ACQUIRE: "acquire",
+    RELEASE: "release",
+    TX_BEGIN: "tx_begin",
+    TX_END: "tx_end",
+    REDO: "redo",
+}
+
+_HEAD = struct.Struct("<QQQ")
+_META = struct.Struct("<BBBBIQ")  # type, valid, commit, size, tid, addr
+
+
+class LogError(Exception):
+    """Raised on log-space exhaustion or malformed log regions."""
+
+
+@dataclass
+class LogEntry:
+    """Decoded view of one log entry."""
+
+    slot: int
+    type: int
+    valid: bool
+    commit: bool
+    size: int
+    tid: int
+    addr: int
+    value: bytes
+    seq: int
+
+    @property
+    def type_name(self) -> str:
+        return TYPE_NAMES.get(self.type, f"?{self.type}")
+
+
+def encode_entry(
+    type_: int, tid: int, addr: int, value: bytes, seq: int, commit: bool = False
+) -> bytes:
+    """Serialise an entry to its 64-byte PM representation."""
+    if len(value) > MAX_VALUE:
+        raise LogError(f"old value of {len(value)} bytes exceeds {MAX_VALUE}-byte field")
+    meta = _META.pack(type_, 1, 1 if commit else 0, len(value), tid, addr)
+    payload = value.ljust(MAX_VALUE, b"\x00")
+    return meta + payload + struct.pack("<Q", seq)
+
+
+def decode_entry(raw: bytes, slot: int) -> LogEntry:
+    type_, valid, commit, size, tid, addr = _META.unpack_from(raw, 0)
+    value = raw[16 : 16 + min(size, MAX_VALUE)]
+    (seq,) = struct.unpack_from("<Q", raw, 56)
+    return LogEntry(
+        slot=slot,
+        type=type_,
+        valid=bool(valid),
+        commit=bool(commit),
+        size=size,
+        tid=tid,
+        addr=addr,
+        value=value,
+        seq=seq,
+    )
+
+
+@dataclass(frozen=True)
+class LogLayout:
+    """Placement of all per-thread log regions inside the PM space."""
+
+    base: int
+    capacity: int  #: entries per thread
+    n_threads: int
+
+    @property
+    def region_size(self) -> int:
+        return HEADER_SIZE + self.capacity * ENTRY_SIZE
+
+    def region_base(self, tid: int) -> int:
+        return self.base + tid * self.region_size
+
+    def header_addr(self, tid: int) -> int:
+        return self.region_base(tid)
+
+    def entry_addr(self, tid: int, slot: int) -> int:
+        if not 0 <= slot < self.capacity:
+            raise LogError(f"slot {slot} outside capacity {self.capacity}")
+        return self.region_base(tid) + HEADER_SIZE + slot * ENTRY_SIZE
+
+    @property
+    def end(self) -> int:
+        return self.base + self.n_threads * self.region_size
+
+    # -- functional access (used by setup and recovery) -------------------
+
+    def init_region(self, space: PersistentMemory, tid: int) -> None:
+        """Zero the region and write an initial header (head = 0)."""
+        base = self.region_base(tid)
+        space.write(base, b"\x00" * self.region_size)
+        space.write(self.header_addr(tid), _HEAD.pack(0, self.capacity, 0))
+
+    def read_head(self, space: PersistentMemory, tid: int) -> int:
+        head, _cap, _ret = _HEAD.unpack(space.read(self.header_addr(tid), 24))
+        return head
+
+    def read_retired(self, space: PersistentMemory, tid: int) -> int:
+        """Retired-sequence watermark: entries at or below it are already
+        durably applied in place and must never be replayed."""
+        _head, _cap, retired = _HEAD.unpack(space.read(self.header_addr(tid), 24))
+        return retired
+
+    def encode_head(self, head: int, retired: int = 0) -> bytes:
+        return _HEAD.pack(head, self.capacity, retired)
+
+    def read_entry(self, space: PersistentMemory, tid: int, slot: int) -> LogEntry:
+        raw = space.read(self.entry_addr(tid, slot), ENTRY_SIZE)
+        return decode_entry(raw, slot)
+
+    def scan(self, space: PersistentMemory, tid: int) -> List[LogEntry]:
+        """Decode every written slot of a thread's log region."""
+        out = []
+        for slot in range(self.capacity):
+            entry = self.read_entry(space, tid, slot)
+            if entry.type != FREE or entry.valid or entry.seq:
+                out.append(entry)
+        return out

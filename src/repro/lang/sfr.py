@@ -1,0 +1,56 @@
+"""SFR persistency: failure-atomic synchronization-free regions
+([12, 30], Section V).
+
+Every low-level synchronization operation delimits a region.  At region
+end the runtime logs the happens-before relation (the RELEASE entry) and
+*continues without stalling* — undo logs commit lazily in batches of
+``commit_batch`` regions.  This is why SFR shows the highest speedup
+under StrandWeaver (Section VI-B, "Sensitivity to language-level
+persistency model").
+
+``safe_handoff`` commits all pending regions before a lock release so
+that another thread can never observe data from a region whose logs
+might later be rolled back.  The paper's Decoupled-SFR instead tracks
+cross-thread happens-before edges in the logs and resolves them at
+recovery; our conservative hand-off preserves the same recoverability
+guarantee at a small performance cost and is enabled for the crash
+tests (see DESIGN.md deviations).  Performance runs use the paper's
+batched behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.lang import logbuf
+from repro.lang.runtime import PersistencyModel, PmRuntime
+
+
+class SfrModel(PersistencyModel):
+    """Synchronization-free-region failure atomicity with batched commit."""
+
+    name = "sfr"
+    #: SFRs do not stall at region boundaries — no enclosing JoinStrand.
+    enclose_regions = False
+
+    def __init__(self, commit_batch: int = 4, safe_handoff: bool = False) -> None:
+        if commit_batch <= 0:
+            raise ValueError("commit_batch must be positive")
+        self.commit_batch = commit_batch
+        self.safe_handoff = safe_handoff
+
+    def on_lock(self, rt: PmRuntime, tid: int, lock_id: int) -> None:
+        state = rt._threads[tid]
+        if state.region_open:
+            # A sync op inside a region ends the current SFR.
+            rt._close_region(tid, logbuf.ACQUIRE, commit_now=False)
+        rt._open_region(tid, logbuf.ACQUIRE)
+
+    def on_unlock(self, rt: PmRuntime, tid: int, lock_id: int) -> None:
+        state = rt._threads[tid]
+        if state.region_open:
+            rt._close_region(tid, logbuf.RELEASE, commit_now=False)
+        commit = self.safe_handoff or len(state.pending) >= self.commit_batch
+        if commit:
+            rt._commit_pending(tid)
+        # The next SFR (between this release and the next sync op) opens
+        # lazily at the next lock; stores outside locks are not generated
+        # by our workloads.

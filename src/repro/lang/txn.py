@@ -1,0 +1,36 @@
+"""Failure-atomic transactions (PMDK/NV-heaps/Mnemosyne style, Section V).
+
+Regions are explicit ``txn_begin``/``txn_end`` pairs; isolation comes
+from external synchronization (the workloads hold locks around their
+transactions).  ``txn_end`` flushes all PM mutations of the transaction
+and persists them before committing the logs — the region commits (and
+drains) at the end of every transaction.
+"""
+
+from __future__ import annotations
+
+from repro.lang import logbuf
+from repro.lang.runtime import PersistencyModel, PmRuntime
+
+
+class TxnModel(PersistencyModel):
+    """Failure-atomic transactions with commit-at-end semantics."""
+
+    name = "txn"
+    enclose_regions = True
+
+    def __init__(self, durable_commit: bool = False) -> None:
+        self.durable_commit = durable_commit
+
+    def on_lock(self, rt: PmRuntime, tid: int, lock_id: int) -> None:
+        # Locks provide isolation only; they do not delimit regions.
+        pass
+
+    def on_unlock(self, rt: PmRuntime, tid: int, lock_id: int) -> None:
+        pass
+
+    def on_txn_begin(self, rt: PmRuntime, tid: int) -> None:
+        rt._open_region(tid, logbuf.TX_BEGIN)
+
+    def on_txn_end(self, rt: PmRuntime, tid: int) -> None:
+        rt._close_region(tid, logbuf.TX_END, commit_now=True)

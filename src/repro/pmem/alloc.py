@@ -1,0 +1,73 @@
+"""Persistent-memory allocator.
+
+A deliberately simple allocator in the spirit of persistent heaps used by
+the paper's benchmarks: a bump pointer with an aligned free list.  The
+allocator's own metadata lives in volatile memory — the benchmarks persist
+their roots explicitly and re-derive reachability during recovery, as the
+paper's runtimes do (allocation is re-played idempotently inside
+failure-atomic regions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.pmem.space import PersistentMemory, PmError
+
+
+def align_up(value: int, alignment: int) -> int:
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise PmError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class PmAllocator:
+    """Bump allocator with size-class free lists over a PM range."""
+
+    def __init__(self, space: PersistentMemory, base: int, size: int) -> None:
+        if base < 0 or base + size > space.size:
+            raise PmError(f"allocator range [{base:#x}, {base + size:#x}) outside PM")
+        self.space = space
+        self.base = base
+        self.limit = base + size
+        self._cursor = base
+        self._free: Dict[int, List[int]] = {}
+
+    @property
+    def used(self) -> int:
+        return self._cursor - self.base
+
+    @property
+    def remaining(self) -> int:
+        return self.limit - self._cursor
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Allocate ``nbytes`` and return its PM address.
+
+        Freed blocks of the exact same size are reused first.
+        """
+        if nbytes <= 0:
+            raise PmError(f"allocation size must be positive, got {nbytes}")
+        bucket = self._free.get(nbytes)
+        if bucket:
+            addr = bucket.pop()
+            if addr % align == 0:
+                return addr
+            bucket.append(addr)
+        addr = align_up(self._cursor, align)
+        if addr + nbytes > self.limit:
+            raise PmError(
+                f"persistent heap exhausted: need {nbytes} bytes, "
+                f"{self.limit - addr} available"
+            )
+        self._cursor = addr + nbytes
+        return addr
+
+    def alloc_lines(self, n_lines: int) -> int:
+        """Allocate ``n_lines`` cache-line-aligned 64-byte lines."""
+        return self.alloc(n_lines * 64, align=64)
+
+    def free(self, addr: int, nbytes: int) -> None:
+        if addr < self.base or addr + nbytes > self._cursor:
+            raise PmError(f"free of [{addr:#x}, {addr + nbytes:#x}) not from this heap")
+        self._free.setdefault(nbytes, []).append(addr)

@@ -1,0 +1,146 @@
+"""Discrete-event bookkeeping primitives for the timing simulator.
+
+The simulator advances per-core local clocks and lets cores reserve shared
+resources (PM controller bandwidth, write-queue slots, media banks) on
+timelines.  Cores are stepped in minimum-local-clock order by the machine
+(:mod:`repro.sim.machine`), so reservations arrive approximately in global
+time order and simple earliest-available timelines model contention well.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+
+class BandwidthResource:
+    """A server that accepts at most ``capacity`` requests per ``interval``.
+
+    Implemented as windowed capacity accounting so that reservations may
+    arrive in any time order: a core that computed a *future* issue time
+    (e.g. a CLWB chained behind a persist barrier) must not block another
+    core's earlier request — the bandwidth in between is still available.
+    """
+
+    def __init__(self, interval: float, capacity: int = 1) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.interval = interval
+        self.capacity = capacity
+        self._windows: Dict[int, int] = {}
+
+    def reserve(self, t: float) -> float:
+        """Reserve a slot at or after ``t``; returns the grant time."""
+        window = int(max(t, 0.0) / self.interval)
+        while self._windows.get(window, 0) >= self.capacity:
+            window += 1
+        self._windows[window] = self._windows.get(window, 0) + 1
+        return max(t, window * self.interval)
+
+
+class BankedResource:
+    """``n_banks`` parallel servers, each busy ``service`` cycles per job.
+
+    Used for PM media writes: the controller drains its write queue into
+    a small number of concurrently writable banks.
+    """
+
+    def __init__(self, n_banks: int, service: float) -> None:
+        if n_banks <= 0:
+            raise ValueError("need at least one bank")
+        self.service = service
+        self._free_at: List[float] = [0.0] * n_banks
+        heapq.heapify(self._free_at)
+
+    def reserve(self, t: float) -> float:
+        """Run one job starting at or after ``t``; returns completion time."""
+        earliest = heapq.heappop(self._free_at)
+        start = max(t, earliest)
+        done = start + self.service
+        heapq.heappush(self._free_at, done)
+        return done
+
+
+class SlottedQueue:
+    """A queue with ``capacity`` slots; a slot is held until a deadline.
+
+    ``admit`` returns the time the request actually enters the queue: if
+    all slots are occupied at ``t``, entry is delayed until the earliest
+    occupant leaves.  This models back-pressure from bounded hardware
+    queues (PM write queue, persist buffers).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._departures: List[float] = []
+
+    def occupancy_at(self, t: float) -> int:
+        return sum(1 for d in self._departures if d > t)
+
+    def earliest_admission(self, t: float) -> float:
+        self._drain(t)
+        if len(self._departures) < self.capacity:
+            return t
+        return self._departures[0]
+
+    def admit(self, t: float, departure: float) -> float:
+        """Admit a request at or after ``t``, holding a slot until
+        ``departure`` (if departure precedes admission, the slot is held
+        for zero time).  Returns the admission time."""
+        entry = self.earliest_admission(t)
+        self._drain(entry)
+        if len(self._departures) >= self.capacity:
+            # earliest_admission guaranteed a free slot at `entry`.
+            heapq.heappop(self._departures)
+        heapq.heappush(self._departures, max(departure, entry))
+        return entry
+
+    def _drain(self, t: float) -> None:
+        while self._departures and self._departures[0] <= t:
+            heapq.heappop(self._departures)
+
+
+class InOrderQueue:
+    """A FIFO whose entries *retire in order*; capacity-limited.
+
+    Models the store queue: an entry may be individually "ready" early but
+    cannot leave before its elders.  ``push`` returns the time the new
+    entry will retire; dispatch must stall when the queue is full.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._retire_times: List[float] = []  # monotone non-decreasing
+        self._last_retire = 0.0
+
+    def earliest_slot(self, t: float) -> float:
+        """When a new entry could be inserted (full queue delays insert)."""
+        self._drain(t)
+        if len(self._retire_times) < self.capacity:
+            return t
+        return self._retire_times[len(self._retire_times) - self.capacity]
+
+    def push(self, t: float, ready: float) -> float:
+        """Insert at or after ``t`` an entry that is ready at ``ready``.
+
+        Returns the entry's retire time (in-order: >= all elder retires).
+        """
+        entry_t = self.earliest_slot(t)
+        retire = max(ready, self._last_retire, entry_t)
+        self._retire_times.append(retire)
+        self._last_retire = retire
+        return retire
+
+    def drain_time(self, t: float) -> float:
+        """Time when everything currently queued has retired."""
+        return max(t, self._last_retire)
+
+    def _drain(self, t: float) -> None:
+        while self._retire_times and self._retire_times[0] <= t:
+            self._retire_times.pop(0)

@@ -1,0 +1,118 @@
+"""Machine model: cores + caches + PM controller under one design.
+
+``Machine.run(program)`` replays a multi-threaded micro-op program on the
+selected persistency design and returns :class:`MachineStats`.  Cores are
+stepped in minimum-local-clock order so shared-resource reservations are
+made approximately in global time order; a core whose next op is a lock
+acquisition that is not yet its turn is parked and woken by the release.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Type
+
+from repro.core.ops import OpKind, Program
+from repro.core.strandweaver import NoPersistQueueDomain, StrandWeaverDomain
+from repro.persistency.base import PersistDomain
+from repro.persistency.hops import HopsDomain
+from repro.persistency.intel_x86 import IntelX86Domain
+from repro.persistency.nonatomic import NonAtomicDomain
+from repro.sim.cache import CacheHierarchy
+from repro.sim.config import MachineConfig, TABLE_I
+from repro.sim.cpu import Blocked, CoreEngine, LockTable
+from repro.sim.engine import InOrderQueue
+from repro.sim.memory import DRAMController, PMController
+from repro.sim.stats import CoreStats, MachineStats
+
+#: registry of the hardware designs compared in Figure 7.
+DESIGNS: Dict[str, Type[PersistDomain]] = {
+    "intel-x86": IntelX86Domain,
+    "hops": HopsDomain,
+    "no-persist-queue": NoPersistQueueDomain,
+    "strandweaver": StrandWeaverDomain,
+    "non-atomic": NonAtomicDomain,
+}
+
+
+class SimulationDeadlock(Exception):
+    """All unfinished cores are blocked — a replay invariant was broken."""
+
+
+class Machine:
+    """An ``n_cores`` machine running one persistency design."""
+
+    def __init__(self, design: str, cfg: MachineConfig = TABLE_I) -> None:
+        if design not in DESIGNS:
+            raise ValueError(f"unknown design {design!r}; choose from {sorted(DESIGNS)}")
+        self.design = design
+        self.cfg = cfg
+
+    def run(self, program: Program, warm: bool = True) -> MachineStats:
+        """Replay ``program``; ``warm`` pre-loads every touched line into
+        the L2 to model steady-state measurement (see CacheHierarchy.warm).
+        """
+        if program.n_threads > self.cfg.n_cores:
+            raise ValueError(
+                f"program has {program.n_threads} threads but machine has "
+                f"{self.cfg.n_cores} cores"
+            )
+        pm = PMController(self.cfg.pm)
+        dram = DRAMController()
+        hierarchy = CacheHierarchy(self.cfg, pm, dram)
+        if warm:
+            touched = set()
+            for trace in program.threads:
+                for op in trace.ops:
+                    if op.kind in (OpKind.STORE, OpKind.LOAD, OpKind.CLWB,
+                                   OpKind.VSTORE, OpKind.VLOAD):
+                        touched.add(op.addr // 64)
+            hierarchy.warm(sorted(touched))
+        locks = LockTable(program.lock_order)
+        domain_cls = DESIGNS[self.design]
+
+        cores: List[CoreEngine] = []
+        stats = MachineStats(design=self.design)
+        for trace in program.threads:
+            core_stats = CoreStats()
+            stats.per_core.append(core_stats)
+            store_queue = InOrderQueue(self.cfg.core.store_queue_entries)
+            domain = domain_cls(
+                trace.tid, self.cfg, hierarchy, pm, core_stats, store_queue
+            )
+            cores.append(
+                CoreEngine(trace, self.cfg, hierarchy, domain, core_stats, locks)
+            )
+
+        # Min-clock stepping with lock parking.
+        ready = [(core.clock, core.tid) for core in cores if not core.finished]
+        heapq.heapify(ready)
+        parked: Dict[int, List[CoreEngine]] = {}  # lock_id -> waiting cores
+
+        while ready or parked:
+            if not ready:
+                raise SimulationDeadlock(
+                    f"cores parked on locks {sorted(parked)} with no runnable core"
+                )
+            _, tid = heapq.heappop(ready)
+            core = cores[tid]
+            if core.finished:
+                continue
+            blocked = core.step()
+            if blocked is not None:
+                parked.setdefault(blocked.lock_id, []).append(core)
+                continue
+            # A release may wake parked cores (their turn may have come).
+            if core.pc > 0 and core.trace[core.pc - 1].kind is OpKind.LOCK_REL:
+                lock_id = core.trace[core.pc - 1].lock_id
+                for waiter in parked.pop(lock_id, []):
+                    heapq.heappush(ready, (max(waiter.clock, core.clock), waiter.tid))
+            if not core.finished:
+                heapq.heappush(ready, (core.clock, core.tid))
+
+        return stats
+
+
+def run_design(design: str, program: Program, cfg: MachineConfig = TABLE_I) -> MachineStats:
+    """Convenience wrapper: replay ``program`` on ``design``."""
+    return Machine(design, cfg).run(program)

@@ -1,0 +1,101 @@
+"""Persistent-memory controller and DRAM timing models.
+
+The PM controller is ADR-protected (Section IV, "PM controller"): a write
+is *persistent* once the controller accepts it, so a CLWB acknowledges
+``write_to_controller`` cycles after acceptance.  Acceptance contends on
+the controller's front-end bandwidth, and — when the bounded write queue
+backs up behind the media's write bandwidth — acceptance itself is
+delayed, which is the back-pressure write-heavy workloads (N-Store
+wr-heavy) feel in Table II.
+
+All shared resources use windowed capacity accounting
+(:class:`~repro.sim.engine.BandwidthResource`) so that cores reserving at
+out-of-order times cannot steal bandwidth from each other's past.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import PMConfig
+from repro.sim.engine import BandwidthResource
+
+
+@dataclass
+class WriteTicket:
+    """Timing of one line write through the PM controller."""
+
+    accepted: float  #: entered the write queue (ADR domain)
+    acked: float  #: acknowledgement back to the CPU — the persist point
+    media_done: float  #: line written to the PM media
+
+
+class PMController:
+    """Shared PM controller: acceptance bandwidth, write queue, media."""
+
+    def __init__(self, cfg: PMConfig) -> None:
+        self.cfg = cfg
+        self._accept = BandwidthResource(cfg.accept_interval)
+        #: media sustains one line per this many cycles.
+        self._media_interval = cfg.write_to_media / cfg.media_banks
+        self._media = BandwidthResource(self._media_interval)
+        self._read_bw = BandwidthResource(max(1, cfg.accept_interval // 2))
+        #: line -> media start time of its most recent queued write, for
+        #: write combining inside the controller's queue.
+        self._queued_line: dict = {}
+        self.writes = 0
+        self.coalesced = 0
+        self.reads = 0
+
+    def write(self, t: float, line: int = -1) -> WriteTicket:
+        """Issue one line write (CLWB or write-back) arriving at ``t``.
+
+        Writes to a line that is still sitting in the write queue (its
+        media write has not started) are *coalesced*: the controller
+        updates the queued entry in place and acknowledges immediately,
+        consuming no extra media bandwidth.  Optane's controller combines
+        writes the same way in its write-pending queue, and persistency
+        is unaffected — the queue is inside the ADR domain.
+        """
+        self.writes += 1
+        grant = self._accept.reserve(t)
+        if line >= 0 and self.cfg.coalesce_writes:
+            pending = self._queued_line.get(line)
+            if pending is not None and pending > grant:
+                self.coalesced += 1
+                acked = grant + self.cfg.write_to_controller
+                return WriteTicket(
+                    accepted=grant, acked=acked, media_done=pending + self.cfg.write_to_media
+                )
+        media_start = self._media.reserve(grant)
+        media_done = media_start + self.cfg.write_to_media
+        # Back-pressure: the write queue holds a line from acceptance to
+        # the start of its media write.  When the backlog exceeds what the
+        # queue can hold, acceptance is delayed accordingly.
+        max_backlog = self.cfg.write_queue_entries * self._media_interval
+        accepted = grant
+        if media_start - grant > max_backlog:
+            accepted = media_start - max_backlog
+        acked = accepted + self.cfg.write_to_controller
+        if line >= 0:
+            self._queued_line[line] = media_start
+        return WriteTicket(accepted=accepted, acked=acked, media_done=media_done)
+
+    def read(self, t: float) -> float:
+        """Issue one line read at ``t``; returns data-return time."""
+        self.reads += 1
+        grant = self._read_bw.reserve(t)
+        return grant + self.cfg.read_latency
+
+
+class DRAMController:
+    """Simple DRAM back end for volatile data (fixed latency + bandwidth)."""
+
+    def __init__(self, latency: float = 120.0, interval: float = 4.0) -> None:
+        self.latency = latency
+        self._bw = BandwidthResource(interval)
+        self.accesses = 0
+
+    def access(self, t: float) -> float:
+        self.accesses += 1
+        return self._bw.reserve(t) + self.latency

@@ -1,0 +1,134 @@
+"""Simulation statistics: cycles, stall taxonomy, CLWB intensity.
+
+The paper reports three derived quantities this module supports directly:
+
+* **speedup** — ratio of total cycles between two designs (Figure 7);
+* **persist-order stalls** — cycles the front end is blocked by a
+  persist-ordering constraint (Figure 8);
+* **CKC** — CLWBs issued per thousand cycles, the write-intensity metric
+  of Table II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CoreStats:
+    """Per-core counters accumulated during trace replay."""
+
+    cycles: int = 0
+    ops: int = 0
+    stores: int = 0
+    loads: int = 0
+    clwbs: int = 0
+    fences: int = 0
+    compute_cycles: int = 0
+    #: dispatch-blocked cycles attributable to persist ordering, split by
+    #: the blocking mechanism.
+    stall_fence: int = 0
+    stall_queue_full: int = 0
+    stall_drain: int = 0
+    stall_lock: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    pm_reads: int = 0
+    pm_writes: int = 0
+
+    @property
+    def persist_stalls(self) -> int:
+        """Total persist-ordering stall cycles (Figure 8 numerator)."""
+        return self.stall_fence + self.stall_queue_full + self.stall_drain
+
+    def merge(self, other: "CoreStats") -> None:
+        self.cycles = max(self.cycles, other.cycles)
+        for name in (
+            "ops",
+            "stores",
+            "loads",
+            "clwbs",
+            "fences",
+            "compute_cycles",
+            "stall_fence",
+            "stall_queue_full",
+            "stall_drain",
+            "stall_lock",
+            "l1_hits",
+            "l1_misses",
+            "pm_reads",
+            "pm_writes",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class MachineStats:
+    """Aggregated result of replaying a program on one hardware design."""
+
+    design: str = ""
+    per_core: List[CoreStats] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        """Makespan: completion time of the slowest core."""
+        return max((c.cycles for c in self.per_core), default=0)
+
+    @property
+    def total(self) -> CoreStats:
+        out = CoreStats()
+        for core in self.per_core:
+            out.merge(core)
+        return out
+
+    @property
+    def clwbs(self) -> int:
+        return sum(c.clwbs for c in self.per_core)
+
+    @property
+    def persist_stalls(self) -> int:
+        return sum(c.persist_stalls for c in self.per_core)
+
+    @property
+    def ckc(self) -> float:
+        """CLWBs per thousand cycles (Table II write-intensity metric)."""
+        cycles = self.cycles
+        if cycles == 0:
+            return 0.0
+        return 1000.0 * self.clwbs / cycles
+
+    def speedup_over(self, baseline: "MachineStats") -> float:
+        """How much faster this run is than ``baseline`` (>1 == faster)."""
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def stall_ratio_vs(self, baseline: "MachineStats") -> float:
+        """Persist-stall cycles normalised to ``baseline`` (Figure 8)."""
+        if baseline.persist_stalls == 0:
+            return 0.0 if self.persist_stalls == 0 else float("inf")
+        return self.persist_stalls / baseline.persist_stalls
+
+    def summary(self) -> Dict[str, float]:
+        total = self.total
+        return {
+            "design": self.design,
+            "cycles": self.cycles,
+            "ops": total.ops,
+            "stores": total.stores,
+            "clwbs": total.clwbs,
+            "fences": total.fences,
+            "persist_stalls": self.persist_stalls,
+            "lock_stalls": total.stall_lock,
+            "ckc": round(self.ckc, 2),
+        }
+
+
+def geomean(values: List[float]) -> float:
+    """Geometric mean, the paper's "average speedup" aggregation."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,77 @@
+"""Array-swap benchmark (Table II: "Array Swap") [26, 17].
+
+Swaps two random elements of a persistent array of u64s.  Element locks
+are striped; a swap acquires both stripes in ascending order.  The sum of
+all elements is invariant under swaps, so any torn region (one element
+written, the other lost) is detected immediately.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.lang.runtime import DirectAccessor, PmRuntime, RuntimeAccessor
+from repro.pmem.alloc import PmAllocator
+from repro.workloads.base import CheckFailure, Workload, WorkloadConfig
+
+LOCK_BASE = 200
+N_STRIPES = 16
+
+
+class ArraySwapWorkload(Workload):
+    """Swap two elements of a persistent array under striped locks."""
+
+    name = "arrayswap"
+    compute_per_op = 2600
+    n_elements = 1024
+
+    def __init__(self, cfg: WorkloadConfig) -> None:
+        super().__init__(cfg)
+        self.plan: List[List[Tuple[int, int]]] = []
+        for _tid in range(cfg.n_threads):
+            ops = []
+            for _ in range(cfg.ops_per_thread):
+                i = self.rng.randrange(self.n_elements)
+                j = self.rng.randrange(self.n_elements - 1)
+                if j >= i:
+                    j += 1
+                ops.append((i, j))
+            self.plan.append(ops)
+        self.base = 0
+
+    def _stripe(self, index: int) -> int:
+        return LOCK_BASE + index * N_STRIPES // self.n_elements
+
+    def setup(self, acc: DirectAccessor, alloc: PmAllocator) -> None:
+        self.base = alloc.alloc(self.n_elements * 8, align=64)
+        for i in range(self.n_elements):
+            acc.write_u64(self.base + 8 * i, i + 1)
+
+    def locks_for(self, tid: int, op_indices: Sequence[int]) -> List[int]:
+        locks = set()
+        for op_index in op_indices:
+            i, j = self.plan[tid][op_index]
+            locks.add(self._stripe(i))
+            locks.add(self._stripe(j))
+        return sorted(locks)
+
+    def body(self, rt: PmRuntime, tid: int, op_index: int) -> None:
+        acc = RuntimeAccessor(rt, tid)
+        i, j = self.plan[tid][op_index]
+        addr_i = self.base + 8 * i
+        addr_j = self.base + 8 * j
+        vi = acc.read_u64(addr_i)
+        vj = acc.read_u64(addr_j)
+        acc.write_u64(addr_i, vj)
+        acc.write_u64(addr_j, vi)
+
+    def check(self, acc: DirectAccessor) -> None:
+        expected = self.n_elements * (self.n_elements + 1) // 2
+        total = sum(acc.read_u64(self.base + 8 * i) for i in range(self.n_elements))
+        if total != expected:
+            raise CheckFailure(
+                f"array sum {total} != {expected}: a swap was torn by a crash"
+            )
+        values = sorted(acc.read_u64(self.base + 8 * i) for i in range(self.n_elements))
+        if values != list(range(1, self.n_elements + 1)):
+            raise CheckFailure("array is no longer a permutation of its initial values")

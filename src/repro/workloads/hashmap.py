@@ -1,0 +1,145 @@
+"""Persistent hashmap benchmark (Table II: "Hashmap") [26, 17].
+
+Open-chaining hashmap in PM with striped bucket locks.  Operations are a
+50/50 mix of lookups and upserts.  Every node carries a torn-write check
+word, and per-stripe element counters (protected by the stripe lock)
+must equal the number of reachable nodes — a torn failure-atomic region
+breaks one of the two.
+
+PM layout::
+
+    bucket array:  n_buckets x u64 (chain heads)
+    stripe counts: n_stripes x u64 (one per lock stripe, 64B apart)
+    node:          key(u64) value(u64) check(u64) next(u64)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+from repro.lang.runtime import DirectAccessor, PmRuntime, RuntimeAccessor
+from repro.pmem.alloc import PmAllocator
+from repro.workloads.base import CheckFailure, Workload, WorkloadConfig
+
+LOCK_BASE = 100
+MAGIC = 0x9E3779B97F4A7C15
+
+
+def _mix(key: int, value: int) -> int:
+    return (key * MAGIC ^ value) & 0xFFFFFFFFFFFFFFFF
+
+
+class HashmapWorkload(Workload):
+    """Read/update mix on a persistent open-chaining hashmap."""
+
+    name = "hashmap"
+    compute_per_op = 2800
+    n_buckets = 256
+    n_stripes = 16
+    key_space = 512
+
+    def __init__(self, cfg: WorkloadConfig) -> None:
+        super().__init__(cfg)
+        self.plan: List[List[Tuple[str, int]]] = []
+        for _tid in range(cfg.n_threads):
+            ops = []
+            for _ in range(cfg.ops_per_thread):
+                kind = "upsert" if self.rng.random() < 0.5 else "read"
+                ops.append((kind, self.rng.randrange(self.key_space)))
+            self.plan.append(ops)
+        self.bucket_base = 0
+        self.count_base = 0
+        self.pool: List[List[int]] = []
+        self._next_node = [0] * cfg.n_threads
+        self._version = 0
+
+    def _bucket(self, key: int) -> int:
+        return (key * 2654435761) % self.n_buckets
+
+    def _stripe(self, key: int) -> int:
+        return self._bucket(key) % self.n_stripes
+
+    # -- setup ----------------------------------------------------------------
+
+    def setup(self, acc: DirectAccessor, alloc: PmAllocator) -> None:
+        self.bucket_base = alloc.alloc(self.n_buckets * 8, align=64)
+        acc.write(self.bucket_base, b"\x00" * self.n_buckets * 8)
+        self.count_base = alloc.alloc(self.n_stripes * 64, align=64)
+        acc.write(self.count_base, b"\x00" * self.n_stripes * 64)
+        self.pool = []
+        for tid in range(self.cfg.n_threads):
+            upserts = sum(1 for kind, _ in self.plan[tid] if kind == "upsert")
+            self.pool.append([alloc.alloc_lines(1) for _ in range(upserts)])
+
+    # -- plan --------------------------------------------------------------------
+
+    def locks_for(self, tid: int, op_indices: Sequence[int]) -> List[int]:
+        stripes = {self._stripe(self.plan[tid][i][1]) for i in op_indices}
+        return sorted(LOCK_BASE + s for s in stripes)
+
+    # -- body ----------------------------------------------------------------------
+
+    def body(self, rt: PmRuntime, tid: int, op_index: int) -> None:
+        acc = RuntimeAccessor(rt, tid)
+        kind, key = self.plan[tid][op_index]
+        bucket_addr = self.bucket_base + 8 * self._bucket(key)
+        node = acc.read_u64(bucket_addr)
+        while node != 0:
+            if acc.read_u64(node) == key:
+                break
+            node = acc.read_u64(node + 24)
+
+        if kind == "read":
+            if node != 0:
+                acc.read(node + 8, 16)
+            return
+
+        self._version += 1
+        value = self._version
+        if node != 0:
+            # Update value and check word in a single failure-atomic store.
+            acc.write(node + 8, struct.pack("<QQ", value, _mix(key, value)))
+            return
+        new = self.pool[tid][self._next_node[tid]]
+        self._next_node[tid] += 1
+        head = acc.read_u64(bucket_addr)
+        acc.write(new, struct.pack("<QQQQ", key, value, _mix(key, value), head))
+        acc.write_u64(bucket_addr, new)
+        count_addr = self.count_base + 64 * self._stripe(key)
+        acc.write_u64(count_addr, acc.read_u64(count_addr) + 1)
+
+    # -- invariants ----------------------------------------------------------------
+
+    def check(self, acc: DirectAccessor) -> None:
+        per_stripe = [0] * self.n_stripes
+        for bucket in range(self.n_buckets):
+            node = acc.read_u64(self.bucket_base + 8 * bucket)
+            seen = set()
+            while node != 0:
+                if node in seen:
+                    raise CheckFailure(f"cycle in bucket {bucket}")
+                seen.add(node)
+                key, value, check, nxt = struct.unpack("<QQQQ", acc.read(node, 32))
+                if self._bucket(key) != bucket:
+                    raise CheckFailure(f"key {key} chained in wrong bucket {bucket}")
+                if check != _mix(key, value):
+                    raise CheckFailure(f"torn update on key {key}: value={value}")
+                per_stripe[bucket % self.n_stripes] += 1
+                node = nxt
+        for stripe in range(self.n_stripes):
+            counted = acc.read_u64(self.count_base + 64 * stripe)
+            if counted != per_stripe[stripe]:
+                raise CheckFailure(
+                    f"stripe {stripe} count {counted} != reachable {per_stripe[stripe]}: "
+                    "an insert region was torn"
+                )
+        keys = set()
+        for bucket in range(self.n_buckets):
+            node = acc.read_u64(self.bucket_base + 8 * bucket)
+            while node != 0:
+                key = acc.read_u64(node)
+                if key in keys:
+                    raise CheckFailure(f"duplicate key {key}")
+                keys.add(key)
+                node = acc.read_u64(node + 24)

@@ -1,0 +1,122 @@
+"""N-Store key-value benchmark (Table II: "N-Store") [60].
+
+A partitioned persistent key-value store driven by a YCSB-style engine
+with a scrambled-Zipfian key distribution, at the paper's three mixes:
+read-heavy (90/10), balanced (50/50) and write-heavy (10/90).  Updates go
+through the undo-log engine exactly like the paper's modified N-Store.
+
+PM layout (one 64-byte record per key)::
+
+    key(u64) version(u64) check(u64) value(24 B payload)
+
+An update rewrites version+check+value in one failure-atomic store; the
+checker recomputes ``check = mix(key, version)`` and the derived payload
+for every record, so any torn update or lost log ordering is caught.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+from repro.lang.runtime import DirectAccessor, PmRuntime, RuntimeAccessor
+from repro.pmem.alloc import PmAllocator
+from repro.workloads.base import CheckFailure, Workload, WorkloadConfig
+from repro.workloads.ycsb import ScrambledZipfianGenerator
+
+LOCK_BASE = 600
+N_PARTITIONS = 16
+MAGIC = 0xA5A5_5A5A_F00D_BEEF
+
+
+def _mix(key: int, version: int) -> int:
+    return (key * 0x9E3779B97F4A7C15 ^ version * 31 ^ MAGIC) & 0xFFFFFFFFFFFFFFFF
+
+
+def _payload(key: int, version: int) -> bytes:
+    return struct.pack("<QQQ", key ^ version, key + version, _mix(version, key))
+
+
+class NStoreWorkload(Workload):
+    """Base N-Store workload; subclasses fix the read/write mix."""
+
+    name = "nstore"
+    compute_per_op = 1200
+    write_ratio = 0.5
+    n_keys = 1024
+
+    def __init__(self, cfg: WorkloadConfig) -> None:
+        super().__init__(cfg)
+        keygen = ScrambledZipfianGenerator(self.n_keys, self.rng)
+        self.plan: List[List[Tuple[str, int]]] = []
+        for _tid in range(cfg.n_threads):
+            ops = []
+            for _ in range(cfg.ops_per_thread):
+                kind = "write" if self.rng.random() < self.write_ratio else "read"
+                ops.append((kind, keygen.next()))
+            self.plan.append(ops)
+        self.base = 0
+        self._version = 0
+
+    def _partition(self, key: int) -> int:
+        return key % N_PARTITIONS
+
+    def _record(self, key: int) -> int:
+        return self.base + 64 * key
+
+    def setup(self, acc: DirectAccessor, alloc: PmAllocator) -> None:
+        self.base = alloc.alloc(64 * self.n_keys, align=64)
+        for key in range(self.n_keys):
+            acc.write(
+                self._record(key),
+                struct.pack("<QQQ", key, 0, _mix(key, 0)) + _payload(key, 0),
+            )
+
+    def locks_for(self, tid: int, op_indices: Sequence[int]) -> List[int]:
+        parts = {self._partition(self.plan[tid][i][1]) for i in op_indices}
+        return sorted(LOCK_BASE + p for p in parts)
+
+    def body(self, rt: PmRuntime, tid: int, op_index: int) -> None:
+        acc = RuntimeAccessor(rt, tid)
+        kind, key = self.plan[tid][op_index]
+        rec = self._record(key)
+        if kind == "read":
+            acc.read(rec, 64)
+            return
+        version = acc.read_u64(rec + 8) + 1
+        acc.write(
+            rec + 8,
+            struct.pack("<QQ", version, _mix(key, version)) + _payload(key, version),
+        )
+
+    def check(self, acc: DirectAccessor) -> None:
+        for key in range(self.n_keys):
+            stored_key, version, check = struct.unpack("<QQQ", acc.read(self._record(key), 24))
+            if stored_key != key:
+                raise CheckFailure(f"record {key} has wrong key {stored_key}")
+            if check != _mix(key, version):
+                raise CheckFailure(f"record {key} torn: version={version}")
+            payload = acc.read(self._record(key) + 24, 24)
+            if payload != _payload(key, version):
+                raise CheckFailure(f"record {key} payload inconsistent with version")
+
+
+class NStoreReadHeavy(NStoreWorkload):
+    """90% read / 10% write (Table II: "N-Store (rd-heavy)")."""
+
+    name = "nstore-rd"
+    write_ratio = 0.1
+
+
+class NStoreBalanced(NStoreWorkload):
+    """50% read / 50% write (Table II: "N-Store (balanced)")."""
+
+    name = "nstore-bal"
+    write_ratio = 0.5
+
+
+class NStoreWriteHeavy(NStoreWorkload):
+    """10% read / 90% write (Table II: "N-Store (wr-heavy)")."""
+
+    name = "nstore-wr"
+    write_ratio = 0.9

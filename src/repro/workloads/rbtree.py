@@ -1,0 +1,357 @@
+"""Persistent red-black tree benchmark (Table II: "RB-Tree") [26, 18].
+
+A full CLRS red-black tree living in PM, with insert and delete
+(including both rebalancing fix-ups) executed under a global tree lock —
+the conventional locking discipline for persistent search trees.
+
+PM layout::
+
+    meta line: root(u64) count(u64) nil(u64)
+    node line: key(0) value(8) left(16) right(24) parent(32) color(40) check(48)
+
+``color``: 0 = black, 1 = red.  ``check = mix(key, value)`` detects torn
+node initialisation.  The post-crash checker verifies the binary-search
+property, no red-red edges, uniform black height, parent-pointer
+consistency and ``count == reachable nodes``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Set, Tuple
+
+from repro.lang.runtime import Accessor, DirectAccessor, PmRuntime, RuntimeAccessor
+from repro.pmem.alloc import PmAllocator
+from repro.workloads.base import CheckFailure, Workload, WorkloadConfig
+
+TREE_LOCK = 300
+BLACK = 0
+RED = 1
+
+_MIX = 0x9E3779B97F4A7C15
+
+K, V, L, R, P, C, CHK = 0, 8, 16, 24, 32, 40, 48
+
+
+def _mix(key: int, value: int) -> int:
+    return (key * _MIX ^ value ^ 0x42) & 0xFFFFFFFFFFFFFFFF
+
+
+class RBTreeWorkload(Workload):
+    """Insert/delete on a persistent red-black tree."""
+
+    name = "rbtree"
+    compute_per_op = 6000
+
+    def __init__(self, cfg: WorkloadConfig) -> None:
+        super().__init__(cfg)
+        self.meta = 0
+        self.nil = 0
+        self.pool: List[List[int]] = []
+        self._next_node = [0] * cfg.n_threads
+        self._shadow: Set[int] = set()
+        self._next_key = 1
+
+    # -- field helpers ----------------------------------------------------------
+
+    def _get(self, acc: Accessor, node: int, off: int) -> int:
+        return acc.read_u64(node + off)
+
+    def _set(self, acc: Accessor, node: int, off: int, val: int) -> None:
+        acc.write_u64(node + off, val)
+
+    def _root(self, acc: Accessor) -> int:
+        return acc.read_u64(self.meta)
+
+    def _set_root(self, acc: Accessor, node: int) -> None:
+        acc.write_u64(self.meta, node)
+
+    # -- setup -------------------------------------------------------------------
+
+    def setup(self, acc: DirectAccessor, alloc: PmAllocator) -> None:
+        self.meta = alloc.alloc_lines(1)
+        self.nil = alloc.alloc_lines(1)
+        acc.write(self.nil, struct.pack("<QQQQQQQ", 0, 0, 0, 0, 0, BLACK, _mix(0, 0)))
+        acc.write(self.meta, struct.pack("<QQQ", self.nil, 0, self.nil))
+        self.pool = [
+            [alloc.alloc_lines(1) for _ in range(self.cfg.ops_per_thread)]
+            for _ in range(self.cfg.n_threads)
+        ]
+
+    def locks_for(self, tid: int, op_indices: Sequence[int]) -> List[int]:
+        return [TREE_LOCK]
+
+    # -- body ----------------------------------------------------------------------
+
+    def body(self, rt: PmRuntime, tid: int, op_index: int) -> None:
+        acc = RuntimeAccessor(rt, tid)
+        delete = self._shadow and self.rng.random() < 0.45
+        if delete:
+            key = self.rng.choice(sorted(self._shadow))
+            self._delete(acc, key)
+            self._shadow.discard(key)
+        else:
+            key = self._next_key
+            self._next_key += 1
+            node = self.pool[tid][self._next_node[tid]]
+            self._next_node[tid] += 1
+            self._insert(acc, node, key, key * 3 + 1)
+            self._shadow.add(key)
+
+    # -- rotations -----------------------------------------------------------------
+
+    def _rotate_left(self, acc: Accessor, x: int) -> None:
+        y = self._get(acc, x, R)
+        yl = self._get(acc, y, L)
+        self._set(acc, x, R, yl)
+        if yl != self.nil:
+            self._set(acc, yl, P, x)
+        xp = self._get(acc, x, P)
+        self._set(acc, y, P, xp)
+        if xp == self.nil:
+            self._set_root(acc, y)
+        elif x == self._get(acc, xp, L):
+            self._set(acc, xp, L, y)
+        else:
+            self._set(acc, xp, R, y)
+        self._set(acc, y, L, x)
+        self._set(acc, x, P, y)
+
+    def _rotate_right(self, acc: Accessor, x: int) -> None:
+        y = self._get(acc, x, L)
+        yr = self._get(acc, y, R)
+        self._set(acc, x, L, yr)
+        if yr != self.nil:
+            self._set(acc, yr, P, x)
+        xp = self._get(acc, x, P)
+        self._set(acc, y, P, xp)
+        if xp == self.nil:
+            self._set_root(acc, y)
+        elif x == self._get(acc, xp, R):
+            self._set(acc, xp, R, y)
+        else:
+            self._set(acc, xp, L, y)
+        self._set(acc, y, R, x)
+        self._set(acc, x, P, y)
+
+    # -- insert -----------------------------------------------------------------------
+
+    def _insert(self, acc: Accessor, z: int, key: int, value: int) -> None:
+        y = self.nil
+        x = self._root(acc)
+        while x != self.nil:
+            y = x
+            x = self._get(acc, x, L) if key < self._get(acc, x, K) else self._get(acc, x, R)
+        # Initialise the node: two stores (undo-log value field is 40 B).
+        acc.write(z, struct.pack("<QQQQ", key, value, self.nil, self.nil))
+        acc.write(z + P, struct.pack("<QQQ", y, RED, _mix(key, value)))
+        if y == self.nil:
+            self._set_root(acc, z)
+        elif key < self._get(acc, y, K):
+            self._set(acc, y, L, z)
+        else:
+            self._set(acc, y, R, z)
+        self._insert_fixup(acc, z)
+        acc.write_u64(self.meta + 8, acc.read_u64(self.meta + 8) + 1)
+
+    def _insert_fixup(self, acc: Accessor, z: int) -> None:
+        while self._get(acc, self._get(acc, z, P), C) == RED:
+            zp = self._get(acc, z, P)
+            zpp = self._get(acc, zp, P)
+            if zp == self._get(acc, zpp, L):
+                y = self._get(acc, zpp, R)
+                if self._get(acc, y, C) == RED:
+                    self._set(acc, zp, C, BLACK)
+                    self._set(acc, y, C, BLACK)
+                    self._set(acc, zpp, C, RED)
+                    z = zpp
+                else:
+                    if z == self._get(acc, zp, R):
+                        z = zp
+                        self._rotate_left(acc, z)
+                        zp = self._get(acc, z, P)
+                        zpp = self._get(acc, zp, P)
+                    self._set(acc, zp, C, BLACK)
+                    self._set(acc, zpp, C, RED)
+                    self._rotate_right(acc, zpp)
+            else:
+                y = self._get(acc, zpp, L)
+                if self._get(acc, y, C) == RED:
+                    self._set(acc, zp, C, BLACK)
+                    self._set(acc, y, C, BLACK)
+                    self._set(acc, zpp, C, RED)
+                    z = zpp
+                else:
+                    if z == self._get(acc, zp, L):
+                        z = zp
+                        self._rotate_right(acc, z)
+                        zp = self._get(acc, z, P)
+                        zpp = self._get(acc, zp, P)
+                    self._set(acc, zp, C, BLACK)
+                    self._set(acc, zpp, C, RED)
+                    self._rotate_left(acc, zpp)
+        root = self._root(acc)
+        if self._get(acc, root, C) != BLACK:
+            self._set(acc, root, C, BLACK)
+
+    # -- delete ------------------------------------------------------------------------
+
+    def _find(self, acc: Accessor, key: int) -> int:
+        node = self._root(acc)
+        while node != self.nil:
+            k = self._get(acc, node, K)
+            if key == k:
+                return node
+            node = self._get(acc, node, L) if key < k else self._get(acc, node, R)
+        return self.nil
+
+    def _minimum(self, acc: Accessor, node: int) -> int:
+        while self._get(acc, node, L) != self.nil:
+            node = self._get(acc, node, L)
+        return node
+
+    def _transplant(self, acc: Accessor, u: int, v: int) -> None:
+        up = self._get(acc, u, P)
+        if up == self.nil:
+            self._set_root(acc, v)
+        elif u == self._get(acc, up, L):
+            self._set(acc, up, L, v)
+        else:
+            self._set(acc, up, R, v)
+        self._set(acc, v, P, up)
+
+    def _delete(self, acc: Accessor, key: int) -> None:
+        z = self._find(acc, key)
+        if z == self.nil:
+            raise CheckFailure(f"planned delete of missing key {key}")
+        y = z
+        y_color = self._get(acc, y, C)
+        if self._get(acc, z, L) == self.nil:
+            x = self._get(acc, z, R)
+            self._transplant(acc, z, x)
+        elif self._get(acc, z, R) == self.nil:
+            x = self._get(acc, z, L)
+            self._transplant(acc, z, x)
+        else:
+            y = self._minimum(acc, self._get(acc, z, R))
+            y_color = self._get(acc, y, C)
+            x = self._get(acc, y, R)
+            if self._get(acc, y, P) == z:
+                self._set(acc, x, P, y)
+            else:
+                self._transplant(acc, y, x)
+                zr = self._get(acc, z, R)
+                self._set(acc, y, R, zr)
+                self._set(acc, zr, P, y)
+            self._transplant(acc, z, y)
+            zl = self._get(acc, z, L)
+            self._set(acc, y, L, zl)
+            self._set(acc, zl, P, y)
+            self._set(acc, y, C, self._get(acc, z, C))
+        if y_color == BLACK:
+            self._delete_fixup(acc, x)
+        acc.write_u64(self.meta + 8, acc.read_u64(self.meta + 8) - 1)
+
+    def _delete_fixup(self, acc: Accessor, x: int) -> None:
+        while x != self._root(acc) and self._get(acc, x, C) == BLACK:
+            xp = self._get(acc, x, P)
+            if x == self._get(acc, xp, L):
+                w = self._get(acc, xp, R)
+                if self._get(acc, w, C) == RED:
+                    self._set(acc, w, C, BLACK)
+                    self._set(acc, xp, C, RED)
+                    self._rotate_left(acc, xp)
+                    w = self._get(acc, xp, R)
+                if (
+                    self._get(acc, self._get(acc, w, L), C) == BLACK
+                    and self._get(acc, self._get(acc, w, R), C) == BLACK
+                ):
+                    self._set(acc, w, C, RED)
+                    x = xp
+                else:
+                    if self._get(acc, self._get(acc, w, R), C) == BLACK:
+                        self._set(acc, self._get(acc, w, L), C, BLACK)
+                        self._set(acc, w, C, RED)
+                        self._rotate_right(acc, w)
+                        w = self._get(acc, xp, R)
+                    self._set(acc, w, C, self._get(acc, xp, C))
+                    self._set(acc, xp, C, BLACK)
+                    self._set(acc, self._get(acc, w, R), C, BLACK)
+                    self._rotate_left(acc, xp)
+                    x = self._root(acc)
+            else:
+                w = self._get(acc, xp, L)
+                if self._get(acc, w, C) == RED:
+                    self._set(acc, w, C, BLACK)
+                    self._set(acc, xp, C, RED)
+                    self._rotate_right(acc, xp)
+                    w = self._get(acc, xp, L)
+                if (
+                    self._get(acc, self._get(acc, w, R), C) == BLACK
+                    and self._get(acc, self._get(acc, w, L), C) == BLACK
+                ):
+                    self._set(acc, w, C, RED)
+                    x = xp
+                else:
+                    if self._get(acc, self._get(acc, w, L), C) == BLACK:
+                        self._set(acc, self._get(acc, w, R), C, BLACK)
+                        self._set(acc, w, C, RED)
+                        self._rotate_left(acc, w)
+                        w = self._get(acc, xp, L)
+                    self._set(acc, w, C, self._get(acc, xp, C))
+                    self._set(acc, xp, C, BLACK)
+                    self._set(acc, self._get(acc, w, L), C, BLACK)
+                    self._rotate_right(acc, xp)
+                    x = self._root(acc)
+        if self._get(acc, x, C) != BLACK:
+            self._set(acc, x, C, BLACK)
+
+    # -- invariants -----------------------------------------------------------------------
+
+    def check(self, acc: DirectAccessor) -> None:
+        root = self._root(acc)
+        count = acc.read_u64(self.meta + 8)
+        if root == self.nil:
+            if count != 0:
+                raise CheckFailure(f"empty tree but count={count}")
+            return
+        if self._get(acc, root, C) != BLACK:
+            raise CheckFailure("root is not black")
+        if self._get(acc, self.nil, C) != BLACK:
+            raise CheckFailure("sentinel turned red")
+        seen: Set[int] = set()
+        n_nodes, _bh = self._check_subtree(acc, root, 0, 2**64 - 1, seen)
+        if n_nodes != count:
+            raise CheckFailure(
+                f"count {count} != reachable nodes {n_nodes}: torn insert/delete region"
+            )
+
+    def _check_subtree(
+        self, acc: DirectAccessor, node: int, lo: int, hi: int, seen: Set[int]
+    ) -> Tuple[int, int]:
+        if node == self.nil:
+            return 0, 1
+        if node in seen:
+            raise CheckFailure(f"node {node:#x} reachable twice")
+        seen.add(node)
+        key = self._get(acc, node, K)
+        value = self._get(acc, node, V)
+        if not lo <= key <= hi:
+            raise CheckFailure(f"BST violation: key {key} outside ({lo}, {hi})")
+        if self._get(acc, node, CHK) != _mix(key, value):
+            raise CheckFailure(f"torn node init at key {key}")
+        color = self._get(acc, node, C)
+        left = self._get(acc, node, L)
+        right = self._get(acc, node, R)
+        if color == RED:
+            for child in (left, right):
+                if child != self.nil and self._get(acc, child, C) == RED:
+                    raise CheckFailure(f"red-red edge at key {key}")
+        for child in (left, right):
+            if child != self.nil and self._get(acc, child, P) != node:
+                raise CheckFailure(f"broken parent pointer under key {key}")
+        nl, bhl = self._check_subtree(acc, left, lo, key, seen)
+        nr, bhr = self._check_subtree(acc, right, key, hi, seen)
+        if bhl != bhr:
+            raise CheckFailure(f"black-height mismatch at key {key}: {bhl} vs {bhr}")
+        return nl + nr + 1, bhl + (1 if color == BLACK else 0)

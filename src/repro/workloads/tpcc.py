@@ -1,0 +1,192 @@
+"""TPC-C new-order benchmark kernel (Table II: "TPCC") [61, 17].
+
+Models the persistent heart of a TPC-C new-order transaction: advance the
+district's order counter, decrement stock for each line item, record the
+order lines and the order itself.  Each transaction acquires the district
+lock plus one stock-stripe lock per distinct item — the paper notes the
+"high lock acquisition overhead per failure-atomic region" is what limits
+TPCC's speedup.
+
+PM layout::
+
+    district rec (64 B): next_o_id(u64) ytd(u64)
+    stock rec   (64 B): quantity(u64) ytd(u64)
+    order rec   (64 B): o_id(u64) ol_cnt(u64) total(u64) check(u64)
+    order line  (32 B): item(u64) qty(u64) amount(u64) check(u64)
+
+Invariants checked on (recovered) images: sequential order ids per
+district, per-order totals equal the sum of their lines, and global stock
+conservation — initial stock == current stock + quantity on order lines.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lang.runtime import DirectAccessor, PmRuntime, RuntimeAccessor
+from repro.pmem.alloc import PmAllocator
+from repro.workloads.base import CheckFailure, Workload, WorkloadConfig
+
+DISTRICT_LOCK = 400
+STOCK_LOCK = 500
+N_DISTRICTS = 8
+N_ITEMS = 128
+N_STOCK_STRIPES = 8
+INIT_QUANTITY = 1_000_000
+MAGIC = 0x7C9C_1F2B_93A5_D705
+
+
+def _mix(*vals: int) -> int:
+    h = MAGIC
+    for v in vals:
+        h = (h * 31 ^ v) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class TpccWorkload(Workload):
+    """New-order transactions over persistent TPC-C tables."""
+
+    name = "tpcc"
+    compute_per_op = 9000
+
+    def __init__(self, cfg: WorkloadConfig) -> None:
+        super().__init__(cfg)
+        # plan[tid][op] = (district, [(item, qty), ...])
+        self.plan: List[List[Tuple[int, List[Tuple[int, int]]]]] = []
+        for _tid in range(cfg.n_threads):
+            ops = []
+            for _ in range(cfg.ops_per_thread):
+                district = self.rng.randrange(N_DISTRICTS)
+                n_lines = self.rng.randint(3, 6)
+                items = sorted(self.rng.sample(range(N_ITEMS), n_lines))
+                lines = [(item, self.rng.randint(1, 10)) for item in items]
+                ops.append((district, lines))
+            self.plan.append(ops)
+        self.district_base = 0
+        self.stock_base = 0
+        self.order_base = 0
+        self.line_base = 0
+        self.max_orders = cfg.n_threads * cfg.ops_per_thread + 8
+        self.max_lines_per_order = 6
+
+    # -- addresses ---------------------------------------------------------------
+
+    def _district(self, d: int) -> int:
+        return self.district_base + 64 * d
+
+    def _stock(self, item: int) -> int:
+        return self.stock_base + 64 * item
+
+    def _order(self, d: int, o_id: int) -> int:
+        return self.order_base + 64 * (d * self.max_orders + o_id)
+
+    def _line(self, d: int, o_id: int, idx: int) -> int:
+        slot = (d * self.max_orders + o_id) * self.max_lines_per_order + idx
+        return self.line_base + 32 * slot
+
+    # -- setup --------------------------------------------------------------------
+
+    def setup(self, acc: DirectAccessor, alloc: PmAllocator) -> None:
+        self.district_base = alloc.alloc(64 * N_DISTRICTS, align=64)
+        self.stock_base = alloc.alloc(64 * N_ITEMS, align=64)
+        self.order_base = alloc.alloc(64 * N_DISTRICTS * self.max_orders, align=64)
+        self.line_base = alloc.alloc(
+            32 * N_DISTRICTS * self.max_orders * self.max_lines_per_order, align=64
+        )
+        for d in range(N_DISTRICTS):
+            acc.write(self._district(d), b"\x00" * 16)
+        for item in range(N_ITEMS):
+            acc.write(self._stock(item), struct.pack("<QQ", INIT_QUANTITY, 0))
+
+    # -- plan -----------------------------------------------------------------------
+
+    def locks_for(self, tid: int, op_indices: Sequence[int]) -> List[int]:
+        locks = set()
+        for op_index in op_indices:
+            district, lines = self.plan[tid][op_index]
+            locks.add(DISTRICT_LOCK + district)
+            for item, _qty in lines:
+                locks.add(STOCK_LOCK + item % N_STOCK_STRIPES)
+        return sorted(locks)
+
+    # -- body --------------------------------------------------------------------------
+
+    def body(self, rt: PmRuntime, tid: int, op_index: int) -> None:
+        acc = RuntimeAccessor(rt, tid)
+        district, lines = self.plan[tid][op_index]
+        d_addr = self._district(district)
+        o_id = acc.read_u64(d_addr)
+        acc.write_u64(d_addr, o_id + 1)
+
+        total = 0
+        for idx, (item, qty) in enumerate(lines):
+            s_addr = self._stock(item)
+            quantity = acc.read_u64(s_addr)
+            ytd = acc.read_u64(s_addr + 8)
+            acc.write(s_addr, struct.pack("<QQ", quantity - qty, ytd + qty))
+            amount = qty * (item + 7)
+            total += amount
+            acc.write(
+                self._line(district, o_id, idx),
+                struct.pack("<QQQQ", item, qty, amount, _mix(item, qty, amount)),
+            )
+        acc.write(
+            self._order(district, o_id),
+            struct.pack("<QQQQ", o_id + 1, len(lines), total, _mix(o_id + 1, len(lines), total)),
+        )
+        acc.write_u64(d_addr + 8, acc.read_u64(d_addr + 8) + total)
+
+    # -- invariants -----------------------------------------------------------------------
+
+    def check(self, acc: DirectAccessor) -> None:
+        lines_total_qty = 0
+        for d in range(N_DISTRICTS):
+            next_o_id = acc.read_u64(self._district(d))
+            ytd = acc.read_u64(self._district(d) + 8)
+            ytd_sum = 0
+            for o_id in range(next_o_id):
+                stored_oid, ol_cnt, total, check = struct.unpack(
+                    "<QQQQ", acc.read(self._order(d, o_id), 32)
+                )
+                if stored_oid != o_id + 1:
+                    raise CheckFailure(
+                        f"district {d}: order {o_id} missing or torn "
+                        f"(stored id {stored_oid})"
+                    )
+                if check != _mix(stored_oid, ol_cnt, total):
+                    raise CheckFailure(f"district {d}: order {o_id} record torn")
+                line_sum = 0
+                for idx in range(ol_cnt):
+                    item, qty, amount, lcheck = struct.unpack(
+                        "<QQQQ", acc.read(self._line(d, o_id, idx), 32)
+                    )
+                    if lcheck != _mix(item, qty, amount):
+                        raise CheckFailure(
+                            f"district {d} order {o_id} line {idx} torn"
+                        )
+                    line_sum += amount
+                    lines_total_qty += qty
+                if line_sum != total:
+                    raise CheckFailure(
+                        f"district {d} order {o_id}: total {total} != lines {line_sum}"
+                    )
+                ytd_sum += total
+            if ytd != ytd_sum:
+                raise CheckFailure(f"district {d}: ytd {ytd} != sum of orders {ytd_sum}")
+        stock_qty = 0
+        stock_ytd = 0
+        for item in range(N_ITEMS):
+            quantity, ytd = struct.unpack("<QQ", acc.read(self._stock(item), 16))
+            stock_qty += quantity
+            stock_ytd += ytd
+        if stock_qty + lines_total_qty != N_ITEMS * INIT_QUANTITY:
+            raise CheckFailure(
+                "stock conservation violated: "
+                f"{stock_qty} on hand + {lines_total_qty} ordered != "
+                f"{N_ITEMS * INIT_QUANTITY} initial"
+            )
+        if stock_ytd != lines_total_qty:
+            raise CheckFailure(
+                f"stock ytd {stock_ytd} != quantity on order lines {lines_total_qty}"
+            )

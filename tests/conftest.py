@@ -1,0 +1,34 @@
+"""Shared fixtures for the StrandWeaver reproduction test suite."""
+
+import random
+
+import pytest
+
+from repro.core.ops import Program, TraceCursor
+from repro.pmem.space import PersistentMemory
+from repro.workloads import WorkloadConfig
+
+
+@pytest.fixture
+def pm() -> PersistentMemory:
+    space = PersistentMemory(1 << 16)
+    space.mark_clean()
+    return space
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_cfg() -> WorkloadConfig:
+    """A fast workload configuration for functional tests."""
+    return WorkloadConfig(
+        n_threads=4, ops_per_thread=12, log_entries=1024, pm_size=1 << 21
+    )
+
+
+def single_thread_program() -> tuple:
+    prog = Program(1)
+    return prog, TraceCursor(prog, 0)

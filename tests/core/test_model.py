@@ -1,0 +1,241 @@
+"""Unit tests for the formal strand persistency model (Eqs. 1-4)."""
+
+import pytest
+
+from repro.core.model import PersistDag, annotate_thread
+from repro.core.ops import Op, OpKind, Program, TraceCursor
+
+
+def build(emit):
+    prog = Program(1)
+    emit(TraceCursor(prog, 0))
+    return PersistDag(prog)
+
+
+def test_annotate_thread_strands_and_epochs():
+    prog = Program(1)
+    cur = TraceCursor(prog, 0)
+    cur.store(0, b"\x00")  # strand 0, epoch 0
+    cur.persist_barrier()
+    cur.store(64, b"\x00")  # strand 0, epoch 1
+    cur.new_strand()
+    cur.store(128, b"\x00")  # strand 1, epoch 0
+    labels = [l for l in annotate_thread(prog.threads[0].ops) if l is not None]
+    assert (labels[0].strand, labels[0].sub_epoch) == (0, 0)
+    assert (labels[1].strand, labels[1].sub_epoch) == (0, 1)
+    assert (labels[2].strand, labels[2].sub_epoch) == (1, 0)
+
+
+def test_annotate_join_strand_bumps_js_epoch():
+    prog = Program(1)
+    cur = TraceCursor(prog, 0)
+    cur.store(0, b"\x00")
+    cur.join_strand()
+    cur.store(64, b"\x00")
+    labels = [l for l in annotate_thread(prog.threads[0].ops) if l is not None]
+    assert labels[0].js_epoch == 0
+    assert labels[1].js_epoch == 1
+
+
+def test_sfence_acts_as_barrier_and_drain():
+    prog = Program(1)
+    cur = TraceCursor(prog, 0)
+    cur.store(0, b"\x00")
+    cur.sfence()
+    cur.store(64, b"\x00")
+    labels = [l for l in annotate_thread(prog.threads[0].ops) if l is not None]
+    assert labels[1].sub_epoch == labels[0].sub_epoch + 1
+    assert labels[1].js_epoch == labels[0].js_epoch + 1
+
+
+def test_persist_barrier_orders_within_strand():
+    dag = build(lambda c: (c.store(0, b"\x01", label="A"),
+                           c.persist_barrier(),
+                           c.store(64, b"\x01", label="B")))
+    a, b = dag.find("A"), dag.find("B")
+    assert dag.ordered_before(a.idx, b.idx)
+    assert not dag.ordered_before(b.idx, a.idx)
+
+
+def test_new_strand_clears_ordering():
+    dag = build(lambda c: (c.store(0, b"\x01", label="A"),
+                           c.persist_barrier(),
+                           c.new_strand(),
+                           c.store(64, b"\x01", label="B")))
+    assert not dag.ordered_before(dag.find("A").idx, dag.find("B").idx)
+
+
+def test_no_barrier_no_order():
+    dag = build(lambda c: (c.store(0, b"\x01", label="A"),
+                           c.store(64, b"\x01", label="B")))
+    assert not dag.ordered_before(dag.find("A").idx, dag.find("B").idx)
+
+
+def test_barrier_does_not_order_across_strands():
+    # A ; NS ; B ; PB ; C  — the barrier orders B before C, not A before C.
+    dag = build(lambda c: (c.store(0, b"\x01", label="A"),
+                           c.new_strand(),
+                           c.store(64, b"\x01", label="B"),
+                           c.persist_barrier(),
+                           c.store(128, b"\x01", label="C")))
+    assert dag.ordered_before(dag.find("B").idx, dag.find("C").idx)
+    assert not dag.ordered_before(dag.find("A").idx, dag.find("C").idx)
+
+
+def test_join_strand_orders_across_strands():
+    dag = build(lambda c: (c.store(0, b"\x01", label="A"),
+                           c.new_strand(),
+                           c.store(64, b"\x01", label="B"),
+                           c.join_strand(),
+                           c.store(128, b"\x01", label="C")))
+    assert dag.ordered_before(dag.find("A").idx, dag.find("C").idx)
+    assert dag.ordered_before(dag.find("B").idx, dag.find("C").idx)
+    assert not dag.ordered_before(dag.find("A").idx, dag.find("B").idx)
+
+
+def test_spa_orders_same_location(pm=None):
+    dag = build(lambda c: (c.store(0, b"\x01", label="A1"),
+                           c.new_strand(),
+                           c.store(0, b"\x02", label="A2")))
+    assert dag.ordered_before(dag.find("A1").idx, dag.find("A2").idx)
+
+
+def test_spa_partial_overlap():
+    dag = build(lambda c: (c.store(0, b"\x01" * 8, label="A"),
+                           c.new_strand(),
+                           c.store(4, b"\x02" * 8, label="B")))
+    assert dag.ordered_before(dag.find("A").idx, dag.find("B").idx)
+
+
+def test_spa_no_overlap_no_order():
+    dag = build(lambda c: (c.store(0, b"\x01" * 4, label="A"),
+                           c.new_strand(),
+                           c.store(4, b"\x02" * 4, label="B")))
+    assert not dag.ordered_before(dag.find("A").idx, dag.find("B").idx)
+
+
+def test_transitivity_through_spa_and_barrier():
+    # Fig. 2(e): St A (strand 0); NS; St A; PB; St B  =>  A0 <=p B.
+    dag = build(lambda c: (c.store(0, b"\x01", label="A0"),
+                           c.new_strand(),
+                           c.store(0, b"\x02", label="A1"),
+                           c.persist_barrier(),
+                           c.store(64, b"\x01", label="B")))
+    assert dag.ordered_before(dag.find("A0").idx, dag.find("B").idx)
+
+
+def test_loads_do_not_create_spa_order():
+    # Fig. 2(g): a load of A on strand 1 does not order B after A.
+    dag = build(lambda c: (c.store(0, b"\x01", label="A"),
+                           c.new_strand(),
+                           c.load(0, 8),
+                           c.persist_barrier(),
+                           c.store(64, b"\x01", label="B")))
+    assert not dag.ordered_before(dag.find("A").idx, dag.find("B").idx)
+
+
+def test_inter_thread_spa():
+    # Fig. 2(i): conflicting stores to B across threads, visibility order
+    # thread0 first, then thread1's PB orders C after it.
+    prog = Program(2)
+    t0 = TraceCursor(prog, 0)
+    t1 = TraceCursor(prog, 1)
+    t0.store(0, b"\x01", label="A")
+    t0.new_strand()
+    t0.store(64, b"\x01", label="B0")
+    t1.store(64, b"\x02", label="B1")
+    t1.persist_barrier()
+    t1.store(128, b"\x01", label="C")
+    dag = PersistDag(prog)
+    assert dag.ordered_before(dag.find("B0").idx, dag.find("B1").idx)
+    assert dag.ordered_before(dag.find("B0").idx, dag.find("C").idx)
+    assert not dag.ordered_before(dag.find("A").idx, dag.find("C").idx)
+
+
+def test_durability_transfer_through_lock_handoff():
+    # Thread 0 drains (JS) then releases; thread 1 acquires and stores.
+    # Thread 1's store in a cut forces thread 0's pre-drain store in.
+    prog = Program(2)
+    t0 = TraceCursor(prog, 0)
+    t1 = TraceCursor(prog, 1)
+    t0.lock(1)
+    t0.store(0, b"\x01", label="A")
+    t0.join_strand()
+    t0.unlock(1)
+    t1.lock(1)
+    t1.store(64, b"\x01", label="B")
+    t1.unlock(1)
+    dag = PersistDag(prog)
+    assert dag.ordered_before(dag.find("A").idx, dag.find("B").idx)
+
+
+def test_no_durability_transfer_without_drain():
+    prog = Program(2)
+    t0 = TraceCursor(prog, 0)
+    t1 = TraceCursor(prog, 1)
+    t0.lock(1)
+    t0.store(0, b"\x01", label="A")
+    t0.unlock(1)  # no JoinStrand before release
+    t1.lock(1)
+    t1.store(64, b"\x01", label="B")
+    t1.unlock(1)
+    dag = PersistDag(prog)
+    assert not dag.ordered_before(dag.find("A").idx, dag.find("B").idx)
+
+
+def test_undrained_tail_not_transferred():
+    # Only persists before the *last* drain are durable at hand-off.
+    prog = Program(2)
+    t0 = TraceCursor(prog, 0)
+    t1 = TraceCursor(prog, 1)
+    t0.lock(1)
+    t0.store(0, b"\x01", label="A")
+    t0.join_strand()
+    t0.store(64, b"\x01", label="T")  # after the drain
+    t0.unlock(1)
+    t1.lock(1)
+    t1.store(128, b"\x01", label="B")
+    t1.unlock(1)
+    dag = PersistDag(prog)
+    assert dag.ordered_before(dag.find("A").idx, dag.find("B").idx)
+    assert not dag.ordered_before(dag.find("T").idx, dag.find("B").idx)
+
+
+def test_consistent_cut_checks_predecessors():
+    dag = build(lambda c: (c.store(0, b"\x01", label="A"),
+                           c.persist_barrier(),
+                           c.store(64, b"\x01", label="B")))
+    a, b = dag.find("A").idx, dag.find("B").idx
+    assert dag.is_consistent_cut({a})
+    assert dag.is_consistent_cut({a, b})
+    assert not dag.is_consistent_cut({b})
+
+
+def test_downward_close():
+    dag = build(lambda c: (c.store(0, b"\x01", label="A"),
+                           c.persist_barrier(),
+                           c.store(64, b"\x01", label="B"),
+                           c.persist_barrier(),
+                           c.store(128, b"\x01", label="C")))
+    cut = dag.downward_close({dag.find("C").idx})
+    assert dag.find("A").idx in cut
+    assert dag.find("B").idx in cut
+    assert dag.is_consistent_cut(cut)
+
+
+def test_find_raises_on_missing_label():
+    dag = build(lambda c: c.store(0, b"\x01", label="A"))
+    with pytest.raises(KeyError):
+        dag.find("missing")
+
+
+def test_edges_point_to_lower_indices():
+    prog = Program(2)
+    t0 = TraceCursor(prog, 0)
+    t1 = TraceCursor(prog, 1)
+    for i in range(6):
+        (t0 if i % 2 else t1).store(i * 64, bytes([i]))
+        (t0 if i % 2 else t1).persist_barrier()
+    dag = PersistDag(prog)
+    for node in dag.nodes:
+        assert all(p < node.idx for p in node.preds)

@@ -1,0 +1,124 @@
+"""Unit tests for the micro-op IR."""
+
+import pytest
+
+from repro.core.ops import (
+    CACHE_LINE,
+    Op,
+    OpKind,
+    Program,
+    TraceCursor,
+    line_of,
+    lines_of,
+)
+
+
+def test_line_of():
+    assert line_of(0) == 0
+    assert line_of(63) == 0
+    assert line_of(64) == 1
+    assert line_of(129) == 2
+
+
+def test_lines_of_within_one_line():
+    assert lines_of(0, 8) == (0,)
+    assert lines_of(56, 8) == (0,)
+
+
+def test_lines_of_spanning_lines():
+    assert lines_of(60, 8) == (0, 1)
+    assert lines_of(0, 129) == (0, 1, 2)
+
+
+def test_lines_of_empty():
+    assert lines_of(10, 0) == ()
+
+
+def test_store_op_roundtrip():
+    prog = Program(1)
+    cur = TraceCursor(prog, 0)
+    op = cur.store(0x100, b"\x01\x02")
+    assert op.kind is OpKind.STORE
+    assert op.addr == 0x100
+    assert op.size == 2
+    assert op.data == b"\x01\x02"
+    assert op.tid == 0
+    assert op.seq == 0
+    assert op.gseq == 0
+
+
+def test_gseq_is_global_across_threads():
+    prog = Program(2)
+    a = TraceCursor(prog, 0)
+    b = TraceCursor(prog, 1)
+    op0 = a.store(0, b"\x00")
+    op1 = b.store(64, b"\x00")
+    op2 = a.load(0, 8)
+    assert [op0.gseq, op1.gseq, op2.gseq] == [0, 1, 2]
+    assert [op.gseq for op in prog.all_ops()] == [0, 1, 2]
+
+
+def test_touches_overlap():
+    s1 = Op(OpKind.STORE, addr=0, size=8)
+    s2 = Op(OpKind.STORE, addr=4, size=8)
+    s3 = Op(OpKind.STORE, addr=8, size=8)
+    assert s1.touches(s2)
+    assert not s1.touches(s3)
+    assert s2.touches(s3)
+
+
+def test_touches_requires_addressed_kinds():
+    fence = Op(OpKind.SFENCE)
+    store = Op(OpKind.STORE, addr=0, size=8)
+    assert not fence.touches(store)
+    assert not store.touches(fence)
+
+
+def test_lock_order_recorded():
+    prog = Program(2)
+    a = TraceCursor(prog, 0)
+    b = TraceCursor(prog, 1)
+    a.lock(7)
+    b.lock(7)
+    a.lock(9)
+    assert prog.lock_order == {7: [0, 1], 9: [0]}
+
+
+def test_counts_histogram():
+    prog = Program(1)
+    cur = TraceCursor(prog, 0)
+    cur.store(0, b"\x00")
+    cur.clwb(0)
+    cur.clwb(64)
+    cur.sfence()
+    counts = prog.counts()
+    assert counts == {"STORE": 1, "CLWB": 2, "SFENCE": 1}
+
+
+def test_pm_stores_sorted_by_gseq():
+    prog = Program(2)
+    a = TraceCursor(prog, 0)
+    b = TraceCursor(prog, 1)
+    b.store(64, b"\x01")
+    a.store(0, b"\x02")
+    stores = prog.pm_stores()
+    assert [s.tid for s in stores] == [1, 0]
+
+
+def test_cursor_emits_all_strand_primitives():
+    prog = Program(1)
+    cur = TraceCursor(prog, 0)
+    assert cur.persist_barrier().kind is OpKind.PERSIST_BARRIER
+    assert cur.new_strand().kind is OpKind.NEW_STRAND
+    assert cur.join_strand().kind is OpKind.JOIN_STRAND
+    assert cur.ofence().kind is OpKind.OFENCE
+    assert cur.dfence().kind is OpKind.DFENCE
+    assert cur.compute(10).cycles == 10
+
+
+def test_region_tag_propagates():
+    prog = Program(1)
+    cur = TraceCursor(prog, 0)
+    cur.region = 5
+    op = cur.store(0, b"\x00")
+    assert op.region == 5

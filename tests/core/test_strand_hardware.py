@@ -1,0 +1,114 @@
+"""Timing-model tests for the strand buffer unit and persist queue."""
+
+import pytest
+
+from repro.core.persist_queue import PersistQueue
+from repro.core.strand_buffer import StrandBuffer, StrandBufferUnit
+from repro.sim.config import PMConfig
+from repro.sim.memory import PMController
+
+
+def make_pm():
+    return PMController(PMConfig())
+
+
+def no_flush(t, line):
+    return t
+
+
+def test_strand_buffer_concurrent_without_barrier():
+    buf = StrandBuffer(4, make_pm(), no_flush)
+    _, r1 = buf.insert_clwb(0.0, 1)
+    _, r2 = buf.insert_clwb(0.0, 2)
+    # Both complete roughly one controller latency after issue.
+    assert r2 - r1 < 192
+
+
+def test_strand_buffer_barrier_chains():
+    buf = StrandBuffer(4, make_pm(), no_flush)
+    _, r1 = buf.insert_clwb(0.0, 1)
+    buf.insert_barrier(0.0)
+    _, r2 = buf.insert_clwb(0.0, 2)
+    assert r2 >= r1 + 192  # second waits for first's ack
+
+
+def test_strand_buffer_capacity_delays_issue():
+    buf = StrandBuffer(1, make_pm(), no_flush)
+    issue1, r1 = buf.insert_clwb(0.0, 1)
+    issue2, _ = buf.insert_clwb(0.0, 2)
+    assert issue1 == 0.0
+    assert issue2 >= r1  # waits for the single entry to retire
+
+
+def test_strand_buffer_line_drain_time():
+    buf = StrandBuffer(4, make_pm(), no_flush)
+    _, retire = buf.insert_clwb(0.0, 7)
+    assert buf.line_drain_time(7, 0.0) == retire
+    assert buf.line_drain_time(99, 0.0) == 0.0
+    # After the retire time has passed, no stall remains.
+    assert buf.line_drain_time(7, retire + 1) == retire + 1
+
+
+def test_unit_round_robin_rotation():
+    unit = StrandBufferUnit(4, 4, make_pm(), no_flush)
+    assert unit.ongoing == 0
+    unit.new_strand(0.0)
+    assert unit.ongoing == 1
+    for _ in range(3):
+        unit.new_strand(0.0)
+    assert unit.ongoing == 0
+
+
+def test_unit_strands_drain_concurrently():
+    unit = StrandBufferUnit(2, 4, make_pm(), no_flush)
+    unit.clwb(0.0, 1)
+    unit.persist_barrier(0.0)
+    _, chained = unit.clwb(0.0, 2)  # chained behind the barrier
+    unit.new_strand(0.0)
+    _, independent = unit.clwb(0.0, 3)
+    assert independent < chained
+
+
+def test_unit_drain_time_covers_all_buffers():
+    unit = StrandBufferUnit(2, 4, make_pm(), no_flush)
+    _, r1 = unit.clwb(0.0, 1)
+    unit.new_strand(0.0)
+    _, r2 = unit.clwb(0.0, 2)
+    assert unit.drain_time(0.0) == max(r1, r2)
+
+
+def test_unit_rejects_zero_buffers():
+    with pytest.raises(ValueError):
+        StrandBufferUnit(0, 4, make_pm(), no_flush)
+    with pytest.raises(ValueError):
+        StrandBuffer(0, make_pm(), no_flush)
+
+
+def test_persist_queue_capacity():
+    pq = PersistQueue(2)
+    pq.push(0.0, 500.0)
+    pq.push(0.0, 600.0)
+    # Full until the earliest completion frees a slot.
+    assert pq.earliest_slot(0.0) == 500.0
+    assert pq.earliest_slot(550.0) == 550.0
+
+
+def test_persist_queue_out_of_order_reclaim():
+    pq = PersistQueue(2)
+    pq.push(0.0, 1000.0)  # slow strand
+    pq.push(0.0, 100.0)  # fast strand completes first
+    # The fast completion frees a slot even though it was pushed later.
+    assert pq.earliest_slot(0.0) == 100.0
+
+
+def test_persist_queue_drain_time():
+    pq = PersistQueue(4)
+    pq.push(0.0, 300.0)
+    pq.push(0.0, 200.0)
+    assert pq.drain_time(0.0) == 300.0
+    assert pq.drain_time(400.0) == 400.0
+
+
+def test_persist_queue_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        PersistQueue(0)

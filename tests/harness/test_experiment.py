@@ -1,0 +1,43 @@
+"""Experiment-driver unit tests."""
+
+import pytest
+
+from repro.harness.experiment import (
+    ALL_DESIGNS,
+    ALL_MODELS,
+    clear_cache,
+    default_config,
+    run_cell,
+)
+from repro.sim.config import TABLE_I
+
+
+def test_design_and_model_lists():
+    assert ALL_DESIGNS[0] == "intel-x86"
+    assert ALL_DESIGNS[-1] == "non-atomic"
+    assert set(ALL_MODELS) == {"txn", "atlas", "sfr"}
+
+
+def test_default_config_scales():
+    cfg = default_config(ops_per_thread=10, ops_per_region=2)
+    assert cfg.ops_per_thread == 10
+    assert cfg.ops_per_region == 2
+    assert cfg.n_threads == 8
+
+
+def test_cache_distinguishes_machine_configs():
+    clear_cache()
+    a = run_cell("queue", "strandweaver", "txn", ops_per_thread=4)
+    b = run_cell(
+        "queue", "strandweaver", "txn", ops_per_thread=4,
+        machine_cfg=TABLE_I.with_strand(1, 1),
+    )
+    assert a is not b
+    assert a.cycles != b.cycles  # (1,1) strand buffers are much slower
+
+
+def test_cache_distinguishes_models():
+    clear_cache()
+    a = run_cell("queue", "strandweaver", "txn", ops_per_thread=4)
+    b = run_cell("queue", "strandweaver", "sfr", ops_per_thread=4)
+    assert a is not b

@@ -1,0 +1,123 @@
+"""Crash-consistency property tests.
+
+For every benchmark and every *correct* dialect we sample consistent cuts
+of the persist DAG (random, frontier-biased, and prefix cuts), materialise
+the crash image, run recovery, and assert the workload's invariants hold.
+The NON-ATOMIC dialect must *fail* on some cut — proving the checker has
+teeth.
+
+Crash tests use the conservative language-model variants whose commits
+are durable before lock hand-off (``durable_commit=True`` /
+``safe_handoff=True``); see DESIGN.md, "Correctness story".
+"""
+
+import random
+
+import pytest
+
+from repro.core.crash import frontier_cut, materialise, prefix_cut, random_cut
+from repro.core.model import PersistDag
+from repro.lang.dialect import (
+    HopsDialect,
+    NonAtomicDialect,
+    StrandDialect,
+    X86Dialect,
+)
+from repro.lang.recovery import recover
+from repro.lang.runtime import DirectAccessor
+from repro.lang.sfr import SfrModel
+from repro.lang.txn import TxnModel
+from repro.workloads import WORKLOADS, CheckFailure, WorkloadConfig, generate
+
+CRASH_CFG = WorkloadConfig(
+    n_threads=3, ops_per_thread=10, log_entries=1024, pm_size=1 << 20
+)
+
+N_CUTS = 12
+
+
+def crash_and_recover(run, dag, cut):
+    image = materialise(dag, cut, run.space)
+    recover(image, run.layout)
+    run.workload.check(DirectAccessor(image))
+
+
+def exercise(workload_name, dialect, model, seed=1234):
+    run = generate(WORKLOADS[workload_name], CRASH_CFG, dialect, model)
+    dag = PersistDag(run.program)
+    rng = random.Random(seed)
+    for i in range(N_CUTS):
+        crash_and_recover(run, dag, random_cut(dag, rng, density=0.4 + 0.05 * (i % 5)))
+        crash_and_recover(run, dag, frontier_cut(dag, rng, drop=0.25))
+    for k in (0, len(dag) // 3, len(dag) // 2, len(dag)):
+        crash_and_recover(run, dag, prefix_cut(dag, k))
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_strand_dialect_crash_consistent(workload_name):
+    exercise(workload_name, StrandDialect(), TxnModel(durable_commit=True))
+
+
+@pytest.mark.parametrize("workload_name", ["queue", "hashmap", "tpcc", "nstore-bal"])
+def test_x86_dialect_crash_consistent(workload_name):
+    exercise(workload_name, X86Dialect(), TxnModel(durable_commit=True))
+
+
+@pytest.mark.parametrize("workload_name", ["queue", "arrayswap", "rbtree"])
+def test_hops_dialect_crash_consistent(workload_name):
+    exercise(workload_name, HopsDialect(), TxnModel(durable_commit=True))
+
+
+@pytest.mark.parametrize("workload_name", ["queue", "hashmap", "rbtree"])
+def test_sfr_safe_handoff_crash_consistent(workload_name):
+    exercise(
+        workload_name,
+        StrandDialect(),
+        SfrModel(commit_batch=3, safe_handoff=True),
+    )
+
+
+def test_sfr_single_thread_batching_crash_consistent():
+    cfg = WorkloadConfig(n_threads=1, ops_per_thread=16, log_entries=1024, pm_size=1 << 20)
+    run = generate(WORKLOADS["queue"], cfg, StrandDialect(), SfrModel(commit_batch=4))
+    dag = PersistDag(run.program)
+    rng = random.Random(7)
+    for _ in range(15):
+        crash_and_recover(run, dag, random_cut(dag, rng, 0.5))
+
+
+def test_nonatomic_dialect_breaks_recovery():
+    """The unordered upper bound must be crash-inconsistent on some cut —
+    otherwise the whole checking apparatus proves nothing."""
+    run = generate(
+        WORKLOADS["arrayswap"], CRASH_CFG, NonAtomicDialect(), TxnModel()
+    )
+    dag = PersistDag(run.program)
+    rng = random.Random(99)
+    failures = 0
+    for _ in range(60):
+        try:
+            crash_and_recover(run, dag, random_cut(dag, rng, 0.5))
+        except CheckFailure:
+            failures += 1
+    assert failures > 0, "non-atomic traces never broke an invariant"
+
+
+def test_full_cut_recovers_to_final_state():
+    """If everything persisted, recovery must leave the final state."""
+    run = generate(WORKLOADS["hashmap"], CRASH_CFG, StrandDialect(),
+                   TxnModel(durable_commit=True))
+    dag = PersistDag(run.program)
+    image = materialise(dag, set(range(len(dag))), run.space)
+    report = recover(image, run.layout)
+    assert report.n_rolled_back == 0
+    run.workload.check(DirectAccessor(image))
+
+
+def test_empty_cut_recovers_to_baseline():
+    run = generate(WORKLOADS["rbtree"], CRASH_CFG, StrandDialect(),
+                   TxnModel(durable_commit=True))
+    dag = PersistDag(run.program)
+    image = materialise(dag, set(), run.space)
+    recover(image, run.layout)
+    run.workload.check(DirectAccessor(image))

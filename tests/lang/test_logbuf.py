@@ -1,0 +1,65 @@
+"""Log entry codec and layout tests."""
+
+import pytest
+
+from repro.lang import logbuf
+from repro.lang.logbuf import LogError, LogLayout, decode_entry, encode_entry
+from repro.pmem.space import PersistentMemory
+
+
+def test_entry_roundtrip():
+    raw = encode_entry(logbuf.STORE, tid=3, addr=0x1234, value=b"\xab" * 8, seq=77)
+    assert len(raw) == logbuf.ENTRY_SIZE
+    e = decode_entry(raw, slot=5)
+    assert e.type == logbuf.STORE
+    assert e.valid and not e.commit
+    assert e.tid == 3
+    assert e.addr == 0x1234
+    assert e.value == b"\xab" * 8
+    assert e.seq == 77
+    assert e.slot == 5
+    assert e.type_name == "store"
+
+
+def test_entry_commit_flag():
+    raw = encode_entry(logbuf.TX_END, 0, 0, b"", 1, commit=True)
+    assert decode_entry(raw, 0).commit
+
+
+def test_oversized_value_rejected():
+    with pytest.raises(LogError):
+        encode_entry(logbuf.STORE, 0, 0, b"\x00" * 41, 1)
+
+
+def test_layout_addresses():
+    layout = LogLayout(base=64, capacity=8, n_threads=2)
+    assert layout.header_addr(0) == 64
+    assert layout.entry_addr(0, 0) == 64 + 64
+    assert layout.entry_addr(0, 7) == 64 + 64 + 7 * 64
+    assert layout.region_base(1) == 64 + layout.region_size
+    assert layout.end == 64 + 2 * layout.region_size
+
+
+def test_layout_slot_bounds():
+    layout = LogLayout(base=0, capacity=4, n_threads=1)
+    with pytest.raises(LogError):
+        layout.entry_addr(0, 4)
+
+
+def test_init_and_head():
+    layout = LogLayout(base=0, capacity=4, n_threads=1)
+    pm = PersistentMemory(layout.end)
+    layout.init_region(pm, 0)
+    assert layout.read_head(pm, 0) == 0
+    pm.write(layout.header_addr(0), layout.encode_head(3))
+    assert layout.read_head(pm, 0) == 3
+
+
+def test_scan_skips_untouched_slots():
+    layout = LogLayout(base=0, capacity=4, n_threads=1)
+    pm = PersistentMemory(layout.end)
+    layout.init_region(pm, 0)
+    pm.write(layout.entry_addr(0, 2), encode_entry(logbuf.STORE, 0, 8, b"\x01", 9))
+    entries = layout.scan(pm, 0)
+    assert len(entries) == 1
+    assert entries[0].slot == 2

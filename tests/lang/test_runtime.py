@@ -1,0 +1,249 @@
+"""Runtime instrumentation tests: Figure 5/6 op patterns per dialect."""
+
+import pytest
+
+from repro.core.ops import OpKind
+from repro.lang.dialect import (
+    DIALECTS,
+    HopsDialect,
+    NonAtomicDialect,
+    StrandDialect,
+    X86Dialect,
+    dialect_for_design,
+)
+from repro.lang.logbuf import LogError, LogLayout
+from repro.lang.runtime import PmRuntime
+from repro.lang.sfr import SfrModel
+from repro.lang.txn import TxnModel
+from repro.pmem.space import PersistentMemory
+
+
+def make_runtime(dialect=None, model=None, capacity=64):
+    layout = LogLayout(base=64, capacity=capacity, n_threads=2)
+    space = PersistentMemory(layout.end + 4096)
+    rt = PmRuntime(
+        space, layout, dialect or StrandDialect(), model or TxnModel(), 2
+    )
+    return rt, space, layout
+
+
+def kinds(rt, tid=0):
+    return [op.kind for op in rt.program.threads[tid].ops]
+
+
+def heap_addr(layout):
+    return (layout.end + 63) & ~63
+
+
+def test_store_outside_region_rejected():
+    rt, _, layout = make_runtime()
+    with pytest.raises(LogError):
+        rt.store(0, heap_addr(layout), b"\x01")
+
+
+def test_fig5_pattern_strand_dialect():
+    rt, _, layout = make_runtime()
+    addr = heap_addr(layout)
+    rt.lock(0, 1)
+    rt.txn_begin(0)
+    rt.store(0, addr, b"\x01" * 8)
+    seq = kinds(rt)
+    # ... log store, clwb, PB, data store, clwb, NS ...
+    i = seq.index(OpKind.PERSIST_BARRIER)
+    assert seq[i - 2] is OpKind.STORE  # log entry
+    assert seq[i - 1] is OpKind.CLWB
+    assert seq[i + 1] is OpKind.STORE  # in-place update
+    assert seq[i + 2] is OpKind.CLWB
+    assert seq[i + 3] is OpKind.NEW_STRAND
+
+
+def test_fig5_pattern_x86_dialect():
+    rt, _, layout = make_runtime(dialect=X86Dialect())
+    addr = heap_addr(layout)
+    rt.lock(0, 1)
+    rt.txn_begin(0)
+    rt.store(0, addr, b"\x01" * 8)
+    seq = kinds(rt)
+    assert OpKind.SFENCE in seq
+    assert OpKind.PERSIST_BARRIER not in seq
+    assert OpKind.NEW_STRAND not in seq
+
+
+def test_hops_dialect_uses_ofence_dfence():
+    rt, _, layout = make_runtime(dialect=HopsDialect())
+    addr = heap_addr(layout)
+    rt.lock(0, 1)
+    rt.txn_begin(0)
+    rt.store(0, addr, b"\x01" * 8)
+    rt.txn_end(0)
+    rt.unlock(0, 1)
+    seq = kinds(rt)
+    assert OpKind.OFENCE in seq
+    assert OpKind.DFENCE in seq
+    assert OpKind.SFENCE not in seq
+
+
+def test_nonatomic_dialect_emits_no_fences():
+    rt, _, layout = make_runtime(dialect=NonAtomicDialect())
+    addr = heap_addr(layout)
+    rt.lock(0, 1)
+    rt.txn_begin(0)
+    rt.store(0, addr, b"\x01" * 8)
+    rt.txn_end(0)
+    rt.unlock(0, 1)
+    seq = kinds(rt)
+    assert not any(
+        k in seq
+        for k in (OpKind.SFENCE, OpKind.PERSIST_BARRIER, OpKind.JOIN_STRAND,
+                  OpKind.OFENCE, OpKind.DFENCE)
+    )
+
+
+def test_functional_update_applied():
+    rt, space, layout = make_runtime()
+    addr = heap_addr(layout)
+    rt.lock(0, 1)
+    rt.txn_begin(0)
+    rt.store(0, addr, b"\x42" * 8)
+    rt.txn_end(0)
+    rt.unlock(0, 1)
+    assert space.read(addr, 8) == b"\x42" * 8
+
+
+def test_commit_invalidates_entries_and_advances_head():
+    rt, space, layout = make_runtime()
+    addr = heap_addr(layout)
+    rt.lock(0, 1)
+    rt.txn_begin(0)
+    rt.store(0, addr, b"\x01" * 8)
+    rt.txn_end(0)
+    rt.unlock(0, 1)
+    entries = layout.scan(space, 0)
+    assert entries, "entries must exist"
+    assert all(not e.valid for e in entries)
+    assert any(e.commit for e in entries)  # the TX_END carries the marker
+    assert layout.read_head(space, 0) != 0
+
+
+def test_nested_region_rejected():
+    rt, _, _ = make_runtime()
+    rt.txn_begin(0)
+    with pytest.raises(LogError):
+        rt.txn_begin(0)
+
+
+def test_unlock_without_lock_rejected():
+    rt, _, _ = make_runtime()
+    with pytest.raises(LogError):
+        rt.unlock(0, 1)
+
+
+def test_log_exhaustion_raises():
+    rt, _, layout = make_runtime(capacity=4)
+    addr = heap_addr(layout)
+    rt.lock(0, 1)
+    rt.txn_begin(0)
+    with pytest.raises(LogError):
+        for i in range(10):
+            rt.store(0, addr + i * 8, b"\x01" * 8)
+
+
+def test_sfr_batched_commit():
+    model = SfrModel(commit_batch=2)
+    rt, space, layout = make_runtime(model=model)
+    addr = heap_addr(layout)
+    # First SFR: no commit yet.
+    rt.lock(0, 1)
+    rt.store(0, addr, b"\x01" * 8)
+    rt.unlock(0, 1)
+    assert rt.committed_regions(0) == []
+    # Second SFR reaches the batch threshold.
+    rt.lock(0, 1)
+    rt.store(0, addr + 8, b"\x02" * 8)
+    rt.unlock(0, 1)
+    assert len(rt.committed_regions(0)) == 2
+
+
+def test_sfr_safe_handoff_commits_every_release():
+    model = SfrModel(commit_batch=8, safe_handoff=True)
+    rt, _, layout = make_runtime(model=model)
+    addr = heap_addr(layout)
+    rt.lock(0, 1)
+    rt.store(0, addr, b"\x01" * 8)
+    rt.unlock(0, 1)
+    assert len(rt.committed_regions(0)) == 1
+
+
+def test_finish_commits_pending():
+    model = SfrModel(commit_batch=100)
+    rt, _, layout = make_runtime(model=model)
+    addr = heap_addr(layout)
+    rt.lock(0, 1)
+    rt.store(0, addr, b"\x01" * 8)
+    rt.unlock(0, 1)
+    rt.finish(0)
+    assert len(rt.committed_regions(0)) == 1
+
+
+def test_dialect_registry_and_lookup():
+    assert set(DIALECTS) == {"strand", "x86", "hops", "non-atomic"}
+    assert isinstance(dialect_for_design("strandweaver"), StrandDialect)
+    assert isinstance(dialect_for_design("no-persist-queue"), StrandDialect)
+    assert isinstance(dialect_for_design("intel-x86"), X86Dialect)
+    with pytest.raises(ValueError):
+        dialect_for_design("riscv")
+
+
+def test_multithread_seq_numbers_unique():
+    rt, space, layout = make_runtime()
+    addr = heap_addr(layout)
+    for tid in (0, 1):
+        rt.lock(tid, 1)
+        rt.txn_begin(tid)
+        rt.store(tid, addr + 64 * tid + 0, b"\x01" * 8)
+        rt.txn_end(tid)
+        rt.unlock(tid, 1)
+    seqs = [e.seq for t in (0, 1) for e in layout.scan(space, t)]
+    assert len(seqs) == len(set(seqs))
+
+
+def test_circular_log_wraps_and_reuses_slots():
+    """Far more entries than capacity: the tail wraps, reusing committed
+    slots, and the functional state stays correct."""
+    rt, space, layout = make_runtime(capacity=16)
+    addr = heap_addr(layout)
+    for i in range(30):  # ~3 entries/region x 30 >> 16 slots
+        rt.lock(0, 1)
+        rt.txn_begin(0)
+        rt.store(0, addr, (i + 1).to_bytes(8, "little"))
+        rt.txn_end(0)
+        rt.unlock(0, 1)
+    assert space.read_u64(addr) == 30
+    assert len(rt.committed_regions(0)) == 30
+
+
+def test_wrapped_log_crash_consistency():
+    import random
+
+    from repro.core.crash import materialise, random_cut
+    from repro.core.model import PersistDag
+    from repro.lang.recovery import recover
+
+    rt, space, layout = make_runtime(model=TxnModel(durable_commit=True),
+                                     capacity=16)
+    addr = heap_addr(layout)
+    space.mark_clean()
+    for i in range(20):
+        rt.lock(0, 1)
+        rt.txn_begin(0)
+        rt.store(0, addr, (i + 1).to_bytes(8, "little"))
+        rt.store(0, addr + 8, (i + 1).to_bytes(8, "little"))
+        rt.txn_end(0)
+        rt.unlock(0, 1)
+    dag = PersistDag(rt.program)
+    rng = random.Random(13)
+    for _ in range(20):
+        image = materialise(dag, random_cut(dag, rng, 0.5), space)
+        recover(image, layout)
+        # Atomicity across the wrap: both words always agree.
+        assert image.read_u64(addr) == image.read_u64(addr + 8)

@@ -1,0 +1,71 @@
+"""Allocator tests."""
+
+import pytest
+
+from repro.pmem.alloc import PmAllocator, align_up
+from repro.pmem.space import PersistentMemory, PmError
+
+
+def make():
+    space = PersistentMemory(4096)
+    return PmAllocator(space, 64, 4096 - 64)
+
+
+def test_align_up():
+    assert align_up(0, 8) == 0
+    assert align_up(1, 8) == 8
+    assert align_up(64, 64) == 64
+    assert align_up(65, 64) == 128
+
+
+def test_align_up_rejects_non_power_of_two():
+    with pytest.raises(PmError):
+        align_up(10, 6)
+
+
+def test_alloc_alignment():
+    alloc = make()
+    a = alloc.alloc(3)
+    b = alloc.alloc(8, align=64)
+    assert a % 8 == 0
+    assert b % 64 == 0
+    assert b >= a + 3
+
+
+def test_alloc_lines():
+    alloc = make()
+    addr = alloc.alloc_lines(2)
+    assert addr % 64 == 0
+    assert alloc.used >= 128
+
+
+def test_exhaustion():
+    alloc = make()
+    with pytest.raises(PmError):
+        alloc.alloc(1 << 20)
+
+
+def test_free_reuse():
+    alloc = make()
+    a = alloc.alloc(64, align=64)
+    alloc.free(a, 64)
+    b = alloc.alloc(64, align=64)
+    assert b == a
+
+
+def test_free_of_foreign_range_rejected():
+    alloc = make()
+    with pytest.raises(PmError):
+        alloc.free(0, 8)
+
+
+def test_range_validation():
+    space = PersistentMemory(128)
+    with pytest.raises(PmError):
+        PmAllocator(space, 64, 1024)
+
+
+def test_zero_alloc_rejected():
+    alloc = make()
+    with pytest.raises(PmError):
+        alloc.alloc(0)

@@ -1,0 +1,112 @@
+"""Cache hierarchy tests: tags, LRU, write-backs, coherence hooks."""
+
+import pytest
+
+from repro.sim.cache import CacheHierarchy, TagCache
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.memory import DRAMController, PMController
+
+
+def small_cache(assoc=2, sets=4):
+    return TagCache(
+        CacheConfig(
+            size_bytes=assoc * sets * 64, assoc=assoc, line_bytes=64,
+            hit_latency=4, mshrs=4,
+        )
+    )
+
+
+def make_hierarchy(n_cores=2):
+    cfg = MachineConfig(n_cores=n_cores)
+    pm = PMController(cfg.pm)
+    dram = DRAMController()
+    return cfg, CacheHierarchy(cfg, pm, dram)
+
+
+class TestTagCache:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.lookup(1) is None
+        c.fill(1, dirty=False)
+        assert c.lookup(1) is False
+
+    def test_dirty_tracking(self):
+        c = small_cache()
+        c.fill(1, dirty=True)
+        assert c.lookup(1) is True
+        assert c.clean(1) is True
+        assert c.lookup(1) is False
+
+    def test_lru_eviction(self):
+        c = small_cache(assoc=2, sets=1)
+        c.fill(0, False)
+        c.fill(1, False)
+        c.lookup(0)  # refresh 0; victim should be 1
+        victim = c.fill(2, False)
+        assert victim == (1, False)
+
+    def test_dirty_victim_reported(self):
+        c = small_cache(assoc=1, sets=1)
+        c.fill(0, dirty=True)
+        victim = c.fill(1, dirty=False)
+        assert victim == (0, True)
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.fill(3, dirty=True)
+        assert c.invalidate(3) is True
+        assert c.lookup(3) is None
+        assert c.invalidate(3) is False
+
+
+class TestHierarchy:
+    def test_l1_hit_after_fill(self):
+        _, h = make_hierarchy()
+        done1, served1 = h.access(0, 10, False, 0.0, persistent=True)
+        assert served1 == "pm"
+        done2, served2 = h.access(0, 10, False, done1, persistent=True)
+        assert served2 == "l1"
+
+    def test_warm_serves_from_l2(self):
+        _, h = make_hierarchy()
+        h.warm([10])
+        _, served = h.access(0, 10, False, 0.0, persistent=True)
+        assert served == "l2"
+
+    def test_volatile_miss_goes_to_dram(self):
+        _, h = make_hierarchy()
+        _, served = h.access(0, 999, False, 0.0, persistent=False)
+        assert served == "dram"
+
+    def test_cross_core_dirty_transfer(self):
+        cfg, h = make_hierarchy()
+        h.access(0, 10, True, 0.0, persistent=True)  # core 0 dirties line
+        t, _ = h.access(1, 10, True, 1000.0, persistent=True)
+        assert h.coherence_transfers == 1
+        assert t >= 1000.0 + cfg.coherence_transfer
+
+    def test_drain_hook_invoked_on_steal(self):
+        calls = []
+
+        def hook(owner, line, t):
+            calls.append((owner, line))
+            return t + 500.0
+
+        cfg, h = make_hierarchy()
+        h.drain_hooks[0] = hook
+        h.access(0, 10, True, 0.0, persistent=True)
+        t, _ = h.access(1, 10, True, 100.0, persistent=True)
+        assert calls == [(0, 10)]
+        assert t >= 600.0
+
+    def test_flush_cleans_line(self):
+        _, h = make_hierarchy()
+        h.access(0, 10, True, 0.0, persistent=True)
+        assert h.l1[0].lookup(10, touch=False) is True
+        h.flush(0, 10, 50.0)
+        assert h.l1[0].lookup(10, touch=False) is False
+
+    def test_flush_of_absent_line_is_cheap(self):
+        cfg, h = make_hierarchy()
+        depart = h.flush(0, 123, 10.0)
+        assert depart == 10.0 + cfg.l1d.hit_latency

@@ -1,0 +1,113 @@
+"""Machine/CPU tests: lock arbitration, replay, design registry."""
+
+import pytest
+
+from repro.core.ops import Program, TraceCursor
+from repro.sim.cpu import LockTable
+from repro.sim.machine import DESIGNS, Machine, run_design
+from repro.sim.config import MachineConfig
+
+
+def test_design_registry_complete():
+    assert set(DESIGNS) == {
+        "intel-x86", "hops", "no-persist-queue", "strandweaver", "non-atomic",
+    }
+
+
+def test_unknown_design_rejected():
+    with pytest.raises(ValueError):
+        Machine("tso")
+
+
+def test_too_many_threads_rejected():
+    prog = Program(9)
+    with pytest.raises(ValueError):
+        Machine("intel-x86", MachineConfig(n_cores=8)).run(prog)
+
+
+class TestLockTable:
+    def test_fifo_turn(self):
+        lt = LockTable({1: [0, 1]})
+        assert lt.try_acquire(1, 1, 0.0) is None  # not thread 1's turn
+        assert lt.try_acquire(1, 0, 0.0) == 0.0
+
+    def test_mutual_exclusion(self):
+        lt = LockTable({1: [0, 1]})
+        lt.try_acquire(1, 0, 0.0)
+        # Thread 1 is next in FIFO but the lock is still held.
+        assert lt.try_acquire(1, 1, 5.0) is None
+        lt.release(1, 50.0)
+        assert lt.try_acquire(1, 1, 5.0) == 50.0
+
+    def test_grant_at_later_request_time(self):
+        lt = LockTable({1: [0, 1]})
+        lt.try_acquire(1, 0, 0.0)
+        lt.release(1, 10.0)
+        assert lt.try_acquire(1, 1, 100.0) == 100.0
+
+
+def simple_program(design_fences: str) -> Program:
+    prog = Program(2)
+    for tid in range(2):
+        cur = TraceCursor(prog, tid)
+        cur.lock(1)
+        cur.store(tid * 64, b"\x01" * 8)
+        cur.clwb(tid * 64)
+        if design_fences == "sfence":
+            cur.sfence()
+        elif design_fences == "strand":
+            cur.join_strand()
+        cur.unlock(1)
+        cur.compute(100)
+    return prog
+
+
+def test_run_design_produces_stats():
+    stats = run_design("intel-x86", simple_program("sfence"))
+    total = stats.total
+    assert stats.cycles > 0
+    assert total.stores == 2
+    assert total.clwbs == 2
+    assert total.fences == 2
+
+
+def test_locks_serialise_critical_sections():
+    prog = simple_program("sfence")
+    stats = run_design("intel-x86", prog)
+    # The second thread must have waited for the first thread's fence.
+    assert stats.total.stall_lock > 0
+
+
+def test_all_designs_replay_matching_dialect():
+    for design, fences in [
+        ("intel-x86", "sfence"),
+        ("strandweaver", "strand"),
+        ("no-persist-queue", "strand"),
+        ("non-atomic", "none"),
+    ]:
+        stats = run_design(design, simple_program(fences))
+        assert stats.cycles > 0, design
+
+
+def test_wrong_fence_kind_raises():
+    prog = simple_program("sfence")
+    with pytest.raises(ValueError):
+        run_design("strandweaver", prog)
+
+
+def test_final_drain_applies_to_all_cores():
+    # Even with no fences, CLWBs must be durable before the run ends, so
+    # the run is longer than the bare dispatch time.
+    prog = Program(1)
+    cur = TraceCursor(prog, 0)
+    cur.store(0, b"\x01" * 8)
+    cur.clwb(0)
+    stats = run_design("non-atomic", prog)
+    assert stats.cycles >= 192
+
+
+def test_warm_disables(monkeypatch):
+    prog = simple_program("none")
+    warm = Machine("non-atomic").run(prog, warm=True)
+    cold = Machine("non-atomic").run(prog, warm=False)
+    assert cold.cycles >= warm.cycles

@@ -1,0 +1,24 @@
+"""Public API surface tests."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_public_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_end_to_end_one_liner():
+    run = repro.generate_for_design(
+        repro.WORKLOADS["queue"],
+        repro.WorkloadConfig(n_threads=2, ops_per_thread=4, log_entries=256,
+                             pm_size=1 << 20),
+        "strandweaver",
+        "txn",
+    )
+    stats = repro.run_design("strandweaver", run.program)
+    assert stats.cycles > 0
