@@ -17,11 +17,16 @@ Language-level persistency runtimes
 
 Benchmarks and experiments
     :data:`repro.workloads.WORKLOADS`, :mod:`repro.harness.figures`
+
+Observability
+    :class:`repro.obs.Tracer` (pass to :class:`~repro.sim.machine.Machine`),
+    :func:`repro.obs.write_trace` (Perfetto), :func:`repro.obs.stats_to_json`
 """
 
 from repro.core.model import PersistDag
 from repro.core.ops import Op, OpKind, Program, TraceCursor
 from repro.lang.recovery import recover
+from repro.obs import Tracer, stats_to_json, write_trace
 from repro.pmem.space import PersistentMemory
 from repro.sim.config import TABLE_I, MachineConfig
 from repro.sim.machine import DESIGNS, Machine, run_design
@@ -40,9 +45,12 @@ __all__ = [
     "Program",
     "TABLE_I",
     "TraceCursor",
+    "Tracer",
     "WORKLOADS",
     "WorkloadConfig",
     "generate_for_design",
     "recover",
     "run_design",
+    "stats_to_json",
+    "write_trace",
 ]

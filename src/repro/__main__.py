@@ -1,11 +1,20 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: regenerate artefacts, trace runs, dump stats.
 
 Usage::
 
-    python -m repro [table1|table2|fig7|fig8|fig9|fig10|models|all] [--ops N]
+    python -m repro [table1|table2|fig7|fig8|fig9|fig10|models|all] [--ops N] [--json]
+    python -m repro trace <workload> --design <d> [--model m] [--out trace.json]
+    python -m repro bench [--ops N] [--out BENCH_trace.json]
+
+``trace`` replays one (workload, design, model) cell with the tracer on
+and writes a Chrome/Perfetto trace-event JSON (open it in
+ui.perfetto.dev) plus, with ``--stats-out``, the machine-readable stats
+document.  ``bench`` runs every (benchmark, design) cell and writes a
+deterministic summary the harness can diff across PRs.
 """
 
 import argparse
+import json
 import sys
 
 from repro.harness import (
@@ -28,8 +37,10 @@ ARTEFACTS = {
     "models": lambda ops: model_sensitivity(ops_per_thread=ops),
 }
 
+COMMANDS = sorted(ARTEFACTS) + ["all", "trace", "bench"]
 
-def main(argv=None) -> int:
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="StrandWeaver reproduction: regenerate evaluation artefacts",
@@ -38,18 +49,125 @@ def main(argv=None) -> int:
         "artefact",
         nargs="?",
         default="all",
-        choices=sorted(ARTEFACTS) + ["all"],
-        help="which table/figure to regenerate (default: all)",
+        choices=COMMANDS,
+        help="table/figure to regenerate, or 'trace'/'bench' (default: all)",
+    )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="workload to replay (trace command only), e.g. 'queue'",
     )
     parser.add_argument(
         "--ops", type=int, default=16,
         help="operations per thread (default 16; the paper used ~6250)",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of rendered tables",
+    )
+    parser.add_argument(
+        "--design", default="strandweaver",
+        help="hardware design for 'trace' (default: strandweaver)",
+    )
+    parser.add_argument(
+        "--model", default="txn",
+        help="language-level persistency model for 'trace' (default: txn)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output path: trace JSON for 'trace' (default trace.json), "
+        "summary JSON for 'bench' (default BENCH_trace.json)",
+    )
+    parser.add_argument(
+        "--stats-out", default=None,
+        help="also write the run's stats document to this path ('trace')",
+    )
+    parser.add_argument(
+        "--ring", type=int, default=0, metavar="N",
+        help="keep only the most recent N trace events (0 = unbounded)",
+    )
+    return parser
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import default_config
+    from repro.obs import Tracer, write_stats_json, write_trace
+    from repro.sim.machine import DESIGNS, Machine
+    from repro.workloads import WORKLOADS, generate_for_design
+
+    if args.workload is None:
+        print("trace requires a workload, e.g.: python -m repro trace queue",
+              file=sys.stderr)
+        return 2
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; choose from {sorted(WORKLOADS)}",
+              file=sys.stderr)
+        return 2
+    if args.design not in DESIGNS:
+        print(f"unknown design {args.design!r}; choose from {sorted(DESIGNS)}",
+              file=sys.stderr)
+        return 2
+    if args.model not in ("txn", "atlas", "sfr"):
+        print(f"unknown model {args.model!r}; choose from ['atlas', 'sfr', 'txn']",
+              file=sys.stderr)
+        return 2
+    if args.ring < 0:
+        print("--ring must be a positive event count (or 0 for unbounded)",
+              file=sys.stderr)
+        return 2
+    tracer = (
+        Tracer(mode="ring", capacity=args.ring) if args.ring else Tracer()
+    )
+    run = generate_for_design(
+        WORKLOADS[args.workload], default_config(args.ops), args.design, args.model
+    )
+    stats = Machine(args.design, tracer=tracer).run(run.program)
+    out = args.out or "trace.json"
+    doc = write_trace(out, tracer)
+    if args.stats_out:
+        write_stats_json(args.stats_out, stats)
+    if args.json:
+        print(json.dumps(stats.summary(), sort_keys=True))
+    else:
+        summary = stats.summary()
+        print(f"wrote {out}: {len(doc['traceEvents'])} trace records "
+              f"({tracer.dropped} dropped)")
+        print(f"  {args.workload} on {args.design} ({args.model}): "
+              f"{summary['cycles']} cycles, {summary['clwbs']} CLWBs, "
+              f"{summary['persist_stalls']} persist-stall cycles")
+        print("  open in https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import write_bench_summary
+
+    out = args.out or "BENCH_trace.json"
+    doc = write_bench_summary(out, ops_per_thread=args.ops)
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(f"wrote {out}: {len(doc['cells'])} cells "
+              f"({len(doc['benchmarks'])} benchmarks x {len(doc['designs'])} designs, "
+              f"ops_per_thread={doc['ops_per_thread']})")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.artefact == "trace":
+        return _cmd_trace(args)
+    if args.artefact == "bench":
+        return _cmd_bench(args)
     names = sorted(ARTEFACTS) if args.artefact == "all" else [args.artefact]
-    for name in names:
-        print(ARTEFACTS[name](args.ops).render())
-        print()
+    if args.json:
+        docs = [ARTEFACTS[name](args.ops).to_json() for name in names]
+        print(json.dumps(docs[0] if len(docs) == 1 else docs, indent=1))
+    else:
+        for name in names:
+            print(ARTEFACTS[name](args.ops).render())
+            print()
     return 0
 
 

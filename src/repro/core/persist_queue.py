@@ -10,7 +10,9 @@ them (Section VI-B, "Persist concurrency due to strand buffers").
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
+
+from repro.obs.tracer import Tracer
 
 
 class PersistQueue:
@@ -22,6 +24,9 @@ class PersistQueue:
     slots hostage for slow strands.
     """
 
+    #: instrumentation is opt-in (see :meth:`instrument`).
+    _tracer: Optional[Tracer] = None
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("persist queue needs at least one entry")
@@ -29,6 +34,12 @@ class PersistQueue:
         self._completions: List[float] = []
         self._latest = 0.0
         self.inserted = 0
+
+    def instrument(self, tracer: Tracer, track: str) -> None:
+        """Attach a tracer: each push emits a ``pq.push`` marker, a
+        ``pq.entry`` span until retirement, and occupancy samples."""
+        self._tracer = tracer
+        self._track = track
 
     def earliest_slot(self, t: float) -> float:
         """When a new entry can be allocated (full queue waits on a
@@ -45,6 +56,14 @@ class PersistQueue:
         self._completions.append(completion)
         self._latest = max(self._latest, completion)
         self.inserted += 1
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            occ = len(self._completions)
+            tracer.instant("pq.push", self._track, t)
+            tracer.span("pq.entry", self._track, t, completion - t)
+            tracer.counter("pq.occupancy", self._track, t, occ)
+            tracer.metrics.histogram(f"{self._track}/occupancy").observe(occ)
+            tracer.metrics.histogram(f"{self._track}/residency").observe(completion - t)
         return completion
 
     def drain_time(self, t: float) -> float:

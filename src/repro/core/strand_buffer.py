@@ -11,8 +11,9 @@ buffer index round-robin; entries retire from each buffer in order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.memory import PMController
 
 #: signature of the cache-flush front half: (time, line) -> departure time.
@@ -22,12 +23,21 @@ FlushFn = Callable[[float, int], float]
 class StrandBuffer:
     """One strand buffer: bounded, in-order-retiring CLWB chain."""
 
-    def __init__(self, capacity: int, pm: PMController, flush: FlushFn) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        pm: PMController,
+        flush: FlushFn,
+        tracer: Tracer = NULL_TRACER,
+        track: str = "sbu",
+    ) -> None:
         if capacity <= 0:
             raise ValueError("strand buffer needs at least one entry")
         self.capacity = capacity
         self._pm = pm
         self._flush = flush
+        self._tracer = tracer
+        self._track = track
         #: retire times of live entries, oldest first (monotone).
         self._retire_times: List[float] = []
         self._last_retire = 0.0
@@ -61,6 +71,14 @@ class StrandBuffer:
         self._last_retire = retire
         self._line_retire[line] = max(self._line_retire.get(line, 0.0), retire)
         self.clwbs += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            if issue > t:
+                tracer.span("sbu.alloc-wait", self._track, t, issue - t, line=line)
+            tracer.span("sbu.entry", self._track, issue, retire - issue, line=line)
+            tracer.metrics.histogram(f"{self._track}/persist_latency").observe(
+                retire - issue
+            )
         return issue, retire
 
     def insert_barrier(self, t: float) -> float:
@@ -92,11 +110,22 @@ class StrandBufferUnit:
     """Round-robin array of strand buffers (one unit per core)."""
 
     def __init__(
-        self, n_buffers: int, entries_per_buffer: int, pm: PMController, flush: FlushFn
+        self,
+        n_buffers: int,
+        entries_per_buffer: int,
+        pm: PMController,
+        flush: FlushFn,
+        tracer: Tracer = NULL_TRACER,
+        track: str = "sbu",
     ) -> None:
         if n_buffers <= 0:
             raise ValueError("need at least one strand buffer")
-        self.buffers = [StrandBuffer(entries_per_buffer, pm, flush) for _ in range(n_buffers)]
+        self._tracer = tracer
+        self._track = track
+        self.buffers = [
+            StrandBuffer(entries_per_buffer, pm, flush, tracer, f"{track}/sbu{i}")
+            for i in range(n_buffers)
+        ]
         self.ongoing = 0
 
     def clwb(self, t: float, line: int) -> Tuple[float, float]:
@@ -105,11 +134,20 @@ class StrandBufferUnit:
 
     def persist_barrier(self, t: float) -> float:
         """Apply a persist barrier to the ongoing buffer."""
-        return self.buffers[self.ongoing].insert_barrier(t)
+        done = self.buffers[self.ongoing].insert_barrier(t)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "sbu.barrier", f"{self._track}/sbu{self.ongoing}", t, strand=self.ongoing
+            )
+        return done
 
     def new_strand(self, t: float) -> float:
         """Rotate the ongoing buffer index (round-robin assignment)."""
         self.ongoing = (self.ongoing + 1) % len(self.buffers)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "sbu.rotate", f"{self._track}/sbu{self.ongoing}", t, strand=self.ongoing
+            )
         return t + 1
 
     def drain_time(self, t: float) -> float:

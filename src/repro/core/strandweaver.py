@@ -38,8 +38,11 @@ class StrandWeaverDomain(PersistDomain):
             strand_cfg.strand_buffer_entries,
             self.pm,
             self._flush_line,
+            tracer=self.tracer,
+            track=self.track,
         )
         self.pq = PersistQueue(strand_cfg.persist_queue_entries)
+        self.pq.instrument(self.tracer, self.track + "/pq")
         #: latest issue-to-SBU time of any CLWB dispatched so far; persist
         #: barriers snapshot this into the store gate.
         self._max_issue = 0.0
@@ -52,16 +55,21 @@ class StrandWeaverDomain(PersistDomain):
 
     def store_gate(self, t: float) -> float:
         gated = max(t, self._store_gate)
-        self._charge("stall_fence", gated - t)
+        self._charge("stall_fence", gated - t, start=t)
         return gated
 
     def clwb(self, t: float, line: int) -> float:
         slot = self.pq.earliest_slot(t)
-        self._charge("stall_queue_full", slot - t)
+        self._charge("stall_queue_full", slot - t, start=t)
         issue, retire = self.sbu.clwb(slot, line)
         self.pq.push(slot, retire)
         self._max_issue = max(self._max_issue, issue)
         self.stats.pm_writes += 1
+        if self.tracer.enabled:
+            self.tracer.span("clwb", self.clwb_track, slot, retire - slot, line=line)
+            self.tracer.metrics.histogram(f"{self.track}/clwb_ack").observe(
+                retire - slot
+            )
         # The persist queue tracks the CLWB; its ROB slot frees at once.
         return slot + 1, slot + 1
 
@@ -83,7 +91,7 @@ class StrandWeaverDomain(PersistDomain):
 
     def drain_all(self, t: float) -> float:
         done = max(t, self.pq.drain_time(t), self.store_queue.drain_time(t))
-        self._charge("stall_drain", done - t)
+        self._charge("stall_drain", done - t, start=t)
         self._store_gate = 0.0
         return done
 
@@ -103,7 +111,7 @@ class NoPersistQueueDomain(StrandWeaverDomain):
 
     def clwb(self, t: float, line: int):
         slot = self.store_queue.earliest_slot(t)
-        self._charge("stall_queue_full", slot - t)
+        self._charge("stall_queue_full", slot - t, start=t)
         issue, retire = self.sbu.clwb(slot, line)
         # The CLWB occupies a store-queue slot until it *issues* into a
         # strand buffer; a full strand buffer delays the issue, and every
@@ -112,6 +120,11 @@ class NoPersistQueueDomain(StrandWeaverDomain):
         sq_retire = self.store_queue.push(slot, issue)
         self._max_issue = max(self._max_issue, issue)
         self.stats.pm_writes += 1
+        if self.tracer.enabled:
+            self.tracer.span("clwb", self.clwb_track, slot, retire - slot, line=line)
+            self.tracer.metrics.histogram(f"{self.track}/clwb_ack").observe(
+                retire - slot
+            )
         return slot + 1, sq_retire
 
     def fence(self, op: Op, t: float) -> float:
@@ -127,6 +140,6 @@ class NoPersistQueueDomain(StrandWeaverDomain):
 
     def drain_all(self, t: float) -> float:
         done = max(t, self.sbu.drain_time(t), self.store_queue.drain_time(t))
-        self._charge("stall_drain", done - t)
+        self._charge("stall_drain", done - t, start=t)
         self._store_gate = 0.0
         return done

@@ -60,6 +60,16 @@ class FigureResult:
             out += "\n" + "  ".join(f"{k}={v:.2f}" for k, v in self.summary.items())
         return out
 
+    def to_json(self) -> Dict[str, object]:
+        """Machine-readable form of the artefact (``--json`` CLI flag)."""
+        return {
+            "schema": "repro.figure/1",
+            "name": self.name,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "summary": dict(self.summary),
+        }
+
 
 def table1() -> FigureResult:
     """Table I: simulator specification."""

@@ -1,0 +1,49 @@
+"""Observability layer: event tracing, metrics, and exporters.
+
+Zero-dependency instrumentation for the timing simulator.  The default
+:data:`~repro.obs.tracer.NULL_TRACER` makes every instrumentation site a
+single attribute check, so tier-1 timing results are unchanged unless a
+:class:`~repro.obs.tracer.Tracer` is explicitly passed to
+:class:`~repro.sim.machine.Machine`.
+
+See README.md ("Tracing & metrics") for the Perfetto walkthrough.
+"""
+
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    STATS_SCHEMA,
+    bench_summary,
+    stats_to_json,
+    write_bench_summary,
+    write_stats_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ScopedMetrics,
+)
+from repro.obs.perfetto import to_perfetto, write_trace
+from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer, core_track
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "STATS_SCHEMA",
+    "ScopedMetrics",
+    "TraceEvent",
+    "Tracer",
+    "bench_summary",
+    "core_track",
+    "stats_to_json",
+    "to_perfetto",
+    "write_bench_summary",
+    "write_stats_json",
+    "write_trace",
+]

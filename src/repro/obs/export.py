@@ -1,0 +1,96 @@
+"""Machine-readable JSON export of simulation statistics.
+
+Two documents are produced:
+
+* :func:`stats_to_json` — one machine run, schema ``repro.stats/1``:
+  the :meth:`~repro.sim.stats.MachineStats.summary` dict, the full
+  per-core counter breakdown, and any metrics collected by a tracer.
+* :func:`bench_summary` — schema ``repro.bench/1``: the cycles/stall
+  summary of every (benchmark, design) cell at a fixed scale.  Written
+  as ``BENCH_trace.json`` it is a stable, diffable record the harness
+  can compare across PRs to catch timing regressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.stats import CoreStats, MachineStats
+
+STATS_SCHEMA = "repro.stats/1"
+BENCH_SCHEMA = "repro.bench/1"
+
+#: CoreStats fields exported per core, in declaration order.
+_CORE_FIELDS = tuple(f.name for f in dataclasses.fields(CoreStats) if f.name != "metrics")
+
+
+def core_to_json(core: CoreStats) -> Dict[str, int]:
+    out = {name: getattr(core, name) for name in _CORE_FIELDS}
+    out["persist_stalls"] = core.persist_stalls
+    return out
+
+
+def stats_to_json(stats: MachineStats) -> Dict[str, object]:
+    """Full machine-run export: summary, per-core counters, metrics."""
+    doc: Dict[str, object] = {
+        "schema": STATS_SCHEMA,
+        "summary": stats.summary(),
+        "per_core": [core_to_json(core) for core in stats.per_core],
+    }
+    if stats.metrics is not None:
+        doc["metrics"] = stats.metrics.to_json()
+    return doc
+
+
+def write_stats_json(path: str, stats: MachineStats) -> Dict[str, object]:
+    doc = stats_to_json(stats)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def bench_summary(
+    ops_per_thread: int = 8,
+    model: str = "txn",
+    benchmarks: Optional[Sequence[str]] = None,
+    designs: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Run every (benchmark, design) cell and return a diffable summary.
+
+    The simulator is deterministic, so at a fixed ``ops_per_thread`` the
+    resulting document is byte-stable across runs — any diff between PRs
+    is a real timing-model change.
+    """
+    # Imported lazily: the harness imports the simulator, which imports
+    # repro.obs — a module-level import here would be circular.
+    from repro.harness.experiment import ALL_DESIGNS, run_cell
+    from repro.harness.figures import BENCH_ORDER
+
+    benchmarks = tuple(benchmarks or BENCH_ORDER)
+    designs = tuple(designs or ALL_DESIGNS)
+    cells: List[Dict[str, object]] = []
+    for bench in benchmarks:
+        for design in designs:
+            stats = run_cell(bench, design, model, ops_per_thread=ops_per_thread)
+            cell: Dict[str, object] = {"benchmark": bench, "model": model}
+            cell.update(stats.summary())
+            cells.append(cell)
+    return {
+        "schema": BENCH_SCHEMA,
+        "model": model,
+        "ops_per_thread": ops_per_thread,
+        "benchmarks": list(benchmarks),
+        "designs": list(designs),
+        "cells": cells,
+    }
+
+
+def write_bench_summary(path: str, **kwargs) -> Dict[str, object]:
+    doc = bench_summary(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc

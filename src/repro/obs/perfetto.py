@@ -1,0 +1,122 @@
+"""Chrome/Perfetto trace-event JSON export.
+
+Produces the legacy trace-event format accepted by ui.perfetto.dev and
+``chrome://tracing``: a ``traceEvents`` array where every record carries
+``ph`` (phase), ``ts`` (microseconds), ``pid``, ``tid`` and ``name``.
+One simulated cycle is exported as one microsecond.
+
+Track layout: tracks are grouped by the prefix before the first ``/``
+(``core3`` and ``core3/clwb`` share group ``core3``; ``pm/write-queue``
+and ``pm/media`` share group ``pm``).  Each group becomes one process;
+each track becomes one named thread of that process, so Perfetto shows a
+collapsible block per core and per shared resource.  Events are sorted
+by timestamp per track so each timeline row is monotonic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.tracer import Tracer
+
+
+def _track_ids(tracks: List[str]) -> Dict[str, Tuple[int, int]]:
+    """Assign a stable (pid, tid) to every track name, grouping tracks
+    that share a prefix into one process.  Core groups keep pid = tid + 1
+    ordering ahead of shared resources so the UI lists cores first."""
+    groups: List[str] = []
+    for track in tracks:
+        group = track.split("/", 1)[0]
+        if group not in groups:
+            groups.append(group)
+    cores = sorted(
+        (g for g in groups if g.startswith("core") and g[4:].isdigit()),
+        key=lambda g: int(g[4:]),
+    )
+    others = [g for g in groups if g not in cores]
+    pid_of = {g: i + 1 for i, g in enumerate(cores + others)}
+    ids: Dict[str, Tuple[int, int]] = {}
+    next_tid: Dict[str, int] = {}
+    for track in tracks:
+        group = track.split("/", 1)[0]
+        tid = next_tid.get(group, 0)
+        next_tid[group] = tid + 1
+        ids[track] = (pid_of[group], tid)
+    return ids
+
+
+def to_perfetto(tracer: Tracer) -> Dict[str, object]:
+    """Render the tracer's events as a trace-event JSON document."""
+    events = sorted(tracer.events(), key=lambda e: (e.track, e.ts))
+    seen: List[str] = []
+    for ev in events:
+        if ev.track not in seen:
+            seen.append(ev.track)
+    ids = _track_ids(seen)
+
+    records: List[Dict[str, object]] = []
+    # Metadata first: name each process (track group) and thread (track).
+    named_pids = set()
+    for track in seen:
+        pid, tid = ids[track]
+        if pid not in named_pids:
+            named_pids.add(pid)
+            records.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": track.split("/", 1)[0]},
+                }
+            )
+        records.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": track},
+            }
+        )
+
+    for ev in events:
+        pid, tid = ids[ev.track]
+        record: Dict[str, object] = {
+            "ph": ev.ph,
+            "name": ev.name,
+            "pid": pid,
+            "tid": tid,
+            "ts": ev.ts,
+        }
+        if ev.ph == "X":
+            record["dur"] = ev.dur
+        elif ev.ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        if ev.args:
+            record["args"] = dict(ev.args)
+        records.append(record)
+
+    doc: Dict[str, object] = {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs (StrandWeaver reproduction)",
+            "time_unit": "1 simulated cycle = 1us",
+            "dropped_events": tracer.dropped,
+        },
+    }
+    return doc
+
+
+def write_trace(path: str, tracer: Tracer) -> Dict[str, object]:
+    """Write the Perfetto JSON for ``tracer`` to ``path``; returns the
+    document (handy for tests and summaries)."""
+    doc = to_perfetto(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc

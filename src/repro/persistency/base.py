@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from typing import List, Optional
 
 from repro.core.ops import Op, OpKind
+from repro.obs.tracer import NULL_TRACER, Tracer, core_track
 from repro.sim.cache import CacheHierarchy
 from repro.sim.config import MachineConfig
 from repro.sim.engine import InOrderQueue
@@ -40,6 +41,7 @@ class PersistDomain(ABC):
         pm: PMController,
         stats: CoreStats,
         store_queue: InOrderQueue,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.tid = tid
         self.cfg = cfg
@@ -47,6 +49,11 @@ class PersistDomain(ABC):
         self.pm = pm
         self.stats = stats
         self.store_queue = store_queue
+        self.tracer = tracer
+        self.track = core_track(tid)
+        #: CLWB lifetime spans overlap (many in flight), so they get a
+        #: sub-track of the core's group rather than the dispatch row.
+        self.clwb_track = self.track + "/clwb"
 
     # -- hooks the issue engine calls -------------------------------------
 
@@ -84,10 +91,15 @@ class PersistDomain(ABC):
         """Clean the line out of the caches; returns controller-bound time."""
         return self.hierarchy.flush(self.tid, line, t)
 
-    def _charge(self, bucket: str, amount: float) -> None:
+    def _charge(self, bucket: str, amount: float, start: Optional[float] = None) -> None:
+        """Charge ``amount`` stall cycles to ``bucket``; when a tracer is
+        live and the caller supplied the stall's ``start`` time, the wait
+        also becomes a ``stall:<cause>`` span on this core's track."""
         if amount <= 0:
             return
         setattr(self.stats, bucket, getattr(self.stats, bucket) + int(round(amount)))
+        if self.tracer.enabled and start is not None:
+            self.tracer.stall(bucket, self.track, start, amount, design=self.name)
 
 
 class OutstandingSet:

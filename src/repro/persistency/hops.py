@@ -46,7 +46,7 @@ class HopsDomain(PersistDomain):
 
     def clwb(self, t: float, line: int) -> float:
         slot = self._free_slot_time(t)
-        self._charge("stall_queue_full", slot - t)
+        self._charge("stall_queue_full", slot - t, start=t)
         depart = self._flush_line(slot, line)
         # Delegated ordering: the flush may not reach the controller until
         # the previous epoch has fully persisted.
@@ -54,6 +54,11 @@ class HopsDomain(PersistDomain):
         self._buffered.append(ticket.acked)
         self._open_epoch.append(ticket.acked)
         self.stats.pm_writes += 1
+        if self.tracer.enabled:
+            self.tracer.span("clwb", self.clwb_track, slot, ticket.acked - slot, line=line)
+            self.tracer.metrics.histogram(f"{self.track}/clwb_ack").observe(
+                ticket.acked - slot
+            )
         # Ordering is delegated to the persist buffer; the CLWB retires.
         return slot + 1, slot + 1
 
@@ -63,6 +68,8 @@ class HopsDomain(PersistDomain):
             if self._open_epoch:
                 self._epoch_ready = max(self._epoch_ready, max(self._open_epoch))
                 self._open_epoch = []
+            if self.tracer.enabled:
+                self.tracer.instant("ofence", self.track, t)
             return t + 1
         if op.kind is OpKind.DFENCE:
             return self.drain_all(t)
@@ -70,7 +77,7 @@ class HopsDomain(PersistDomain):
 
     def drain_all(self, t: float) -> float:
         done = max([t] + self._buffered)
-        self._charge("stall_drain", done - t)
+        self._charge("stall_drain", done - t, start=t)
         self._buffered = []
         self._open_epoch = []
         self._epoch_ready = max(self._epoch_ready, done)

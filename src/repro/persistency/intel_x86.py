@@ -25,11 +25,16 @@ class IntelX86Domain(PersistDomain):
 
     def clwb(self, t: float, line: int) -> float:
         slot = self._outstanding.wait_for_slot(t)
-        self._charge("stall_queue_full", slot - t)
+        self._charge("stall_queue_full", slot - t, start=t)
         depart = self._flush_line(slot, line)
         ticket = self.pm.write(depart, line)
         self._outstanding.add(ticket.acked)
         self.stats.pm_writes += 1
+        if self.tracer.enabled:
+            self.tracer.span("clwb", self.clwb_track, slot, ticket.acked - slot, line=line)
+            self.tracer.metrics.histogram(f"{self.track}/clwb_ack").observe(
+                ticket.acked - slot
+            )
         # CLWB retires into a fill buffer; it does not hold its ROB slot.
         return slot + 1, slot + 1
 
@@ -40,12 +45,12 @@ class IntelX86Domain(PersistDomain):
         # the store queue has drained (stores may not become visible, and
         # hence may not write back, before prior CLWBs persist).
         done = max(t, self._outstanding.latest(), self.store_queue.drain_time(t))
-        self._charge("stall_fence", done - t)
+        self._charge("stall_fence", done - t, start=t)
         self._outstanding.clear()
         return done
 
     def drain_all(self, t: float) -> float:
         done = max(t, self._outstanding.latest())
-        self._charge("stall_drain", done - t)
+        self._charge("stall_drain", done - t, start=t)
         self._outstanding.clear()
         return done

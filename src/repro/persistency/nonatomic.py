@@ -27,11 +27,16 @@ class NonAtomicDomain(PersistDomain):
 
     def clwb(self, t: float, line: int) -> float:
         slot = self._outstanding.wait_for_slot(t)
-        self._charge("stall_queue_full", slot - t)
+        self._charge("stall_queue_full", slot - t, start=t)
         depart = self._flush_line(slot, line)
         ticket = self.pm.write(depart, line)
         self._outstanding.add(ticket.acked)
         self.stats.pm_writes += 1
+        if self.tracer.enabled:
+            self.tracer.span("clwb", self.clwb_track, slot, ticket.acked - slot, line=line)
+            self.tracer.metrics.histogram(f"{self.track}/clwb_ack").observe(
+                ticket.acked - slot
+            )
         return slot + 1, slot + 1
 
     def fence(self, op: Op, t: float) -> float:
@@ -41,6 +46,6 @@ class NonAtomicDomain(PersistDomain):
 
     def drain_all(self, t: float) -> float:
         done = max(t, self._outstanding.latest())
-        self._charge("stall_drain", done - t)
+        self._charge("stall_drain", done - t, start=t)
         self._outstanding.clear()
         return done

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.ops import Op, OpKind, ThreadTrace, line_of
+from repro.obs.tracer import NULL_TRACER, Tracer, core_track
 from repro.persistency.base import PersistDomain
 from repro.sim.cache import CacheHierarchy
 from repro.sim.config import MachineConfig
@@ -82,6 +83,7 @@ class CoreEngine:
         domain: PersistDomain,
         stats: CoreStats,
         locks: LockTable,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.trace = trace
         self.tid = trace.tid
@@ -90,8 +92,15 @@ class CoreEngine:
         self.domain = domain
         self.stats = stats
         self.locks = locks
+        self.tracer = tracer
+        self.track = core_track(trace.tid)
         self.store_queue = domain.store_queue
         self.rob = InOrderQueue(cfg.core.rob_entries)
+        if tracer.enabled:
+            self.rob.instrument(tracer, self.track + "/rob", "rob")
+            self.store_queue.instrument(
+                tracer, self.track + "/store-queue", "store-queue"
+            )
         #: per-line retire time of the youngest store, so a CLWB cannot
         #: flush a line before the store it persists has reached the L1
         #: (the persist queue's store-queue lookup, Section IV).
@@ -126,6 +135,10 @@ class CoreEngine:
         slot = self.store_queue.earliest_slot(t)
         if slot > t:
             self.stats.stall_queue_full += int(round(slot - t))
+            if self.tracer.enabled:
+                self.tracer.stall(
+                    "queue_full", self.track, t, slot - t, queue="store-queue"
+                )
         cont, done = self._memory_access(op, True, persistent, slot)
         # A store completes (leaves the ROB) when its store-queue entry
         # retires to the cache — behind any elder CLWBs parked in the
@@ -142,7 +155,9 @@ class CoreEngine:
     def step(self) -> Optional[Blocked]:
         """Execute the next micro-op; returns Blocked if a lock isn't ours yet."""
         op = self.trace[self.pc]
-        t = self.clock + self.DISPATCH_COST
+        tracer = self.tracer
+        dispatched = self.clock
+        t = dispatched + self.DISPATCH_COST
         kind = op.kind
 
         # Reorder-buffer pressure: dispatch stalls while the ROB is full of
@@ -150,6 +165,8 @@ class CoreEngine:
         rob_slot = self.rob.earliest_slot(t)
         if rob_slot > t:
             self.stats.stall_queue_full += int(round(rob_slot - t))
+            if tracer.enabled:
+                tracer.stall("queue_full", self.track, t, rob_slot - t, queue="rob")
             t = rob_slot
         rob_done = t
 
@@ -177,20 +194,34 @@ class CoreEngine:
             grant = self.locks.try_acquire(op.lock_id, self.tid, t)
             if grant is None:
                 # Not our turn yet: stay at this op, let the machine park us.
+                if tracer.enabled:
+                    tracer.instant("lock.park", self.track, t, lock=op.lock_id)
                 return Blocked(op.lock_id)
             self.stats.stall_lock += int(round(grant - t))
+            if tracer.enabled:
+                if grant > t:
+                    tracer.stall("lock", self.track, t, grant - t, lock=op.lock_id)
+                tracer.instant(
+                    "lock.acquire", self.track, max(t, grant), lock=op.lock_id
+                )
             t = max(t, grant) + self.LOCK_COST
             rob_done = t
         elif kind is OpKind.LOCK_REL:
             t += self.HIT_COST
             rob_done = t
             self.locks.release(op.lock_id, t)
+            if tracer.enabled:
+                tracer.instant("lock.release", self.track, t, lock=op.lock_id)
         else:  # all fence kinds
             t = self.domain.fence(op, t)
             rob_done = t
             self.stats.fences += 1
 
         self.rob.push(min(t, rob_done), rob_done)
+        if tracer.enabled:
+            tracer.span(
+                f"op:{kind.name}", self.track, dispatched, t - dispatched, pc=self.pc
+            )
         self.clock = t
         self.stats.ops += 1
         self.pc += 1

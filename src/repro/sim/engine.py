@@ -10,7 +10,10 @@ time order and simple earliest-available timelines model contention well.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.tracer import Tracer
 
 
 class BandwidthResource:
@@ -72,11 +75,22 @@ class SlottedQueue:
     queues (PM write queue, persist buffers).
     """
 
+    #: instrumentation is opt-in; the class default keeps the hot path to
+    #: one attribute check when no tracer was attached.
+    _tracer: Optional[Tracer] = None
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._departures: List[float] = []
+
+    def instrument(self, tracer: Tracer, track: str, name: str) -> None:
+        """Attach a tracer: each admission emits an occupancy counter
+        sample on ``track`` and feeds the ``<name>/occupancy`` histogram."""
+        self._tracer = tracer
+        self._track = track
+        self._name = name
 
     def occupancy_at(self, t: float) -> int:
         return sum(1 for d in self._departures if d > t)
@@ -97,6 +111,13 @@ class SlottedQueue:
             # earliest_admission guaranteed a free slot at `entry`.
             heapq.heappop(self._departures)
         heapq.heappush(self._departures, max(departure, entry))
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            occ = len(self._departures)
+            tracer.counter(self._name, self._track, entry, occ)
+            tracer.metrics.histogram(f"{self._track}/occupancy").observe(occ)
+            if entry > t:
+                tracer.span(f"{self._name}:backpressure", self._track, t, entry - t)
         return entry
 
     def _drain(self, t: float) -> None:
@@ -112,12 +133,24 @@ class InOrderQueue:
     entry will retire; dispatch must stall when the queue is full.
     """
 
+    #: see :meth:`SlottedQueue.instrument`; default keeps the path free.
+    _tracer: Optional[Tracer] = None
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._retire_times: List[float] = []  # monotone non-decreasing
+        # monotone non-decreasing, oldest first; deque so the per-retire
+        # pop is O(1) instead of list.pop(0)'s O(n).
+        self._retire_times: Deque[float] = deque()
         self._last_retire = 0.0
+
+    def instrument(self, tracer: Tracer, track: str, name: str) -> None:
+        """Attach a tracer: each push samples occupancy on ``track`` and
+        feeds the ``<name>/occupancy`` histogram."""
+        self._tracer = tracer
+        self._track = track
+        self._name = name
 
     def earliest_slot(self, t: float) -> float:
         """When a new entry could be inserted (full queue delays insert)."""
@@ -135,6 +168,11 @@ class InOrderQueue:
         retire = max(ready, self._last_retire, entry_t)
         self._retire_times.append(retire)
         self._last_retire = retire
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            occ = len(self._retire_times)
+            tracer.counter(self._name, self._track, entry_t, occ)
+            tracer.metrics.histogram(f"{self._track}/occupancy").observe(occ)
         return retire
 
     def drain_time(self, t: float) -> float:
@@ -143,4 +181,4 @@ class InOrderQueue:
 
     def _drain(self, t: float) -> None:
         while self._retire_times and self._retire_times[0] <= t:
-            self._retire_times.pop(0)
+            self._retire_times.popleft()

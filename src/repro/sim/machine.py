@@ -14,6 +14,7 @@ from typing import Dict, List, Type
 
 from repro.core.ops import OpKind, Program
 from repro.core.strandweaver import NoPersistQueueDomain, StrandWeaverDomain
+from repro.obs.tracer import NULL_TRACER, Tracer, core_track
 from repro.persistency.base import PersistDomain
 from repro.persistency.hops import HopsDomain
 from repro.persistency.intel_x86 import IntelX86Domain
@@ -42,11 +43,17 @@ class SimulationDeadlock(Exception):
 class Machine:
     """An ``n_cores`` machine running one persistency design."""
 
-    def __init__(self, design: str, cfg: MachineConfig = TABLE_I) -> None:
+    def __init__(
+        self,
+        design: str,
+        cfg: MachineConfig = TABLE_I,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
         if design not in DESIGNS:
             raise ValueError(f"unknown design {design!r}; choose from {sorted(DESIGNS)}")
         self.design = design
         self.cfg = cfg
+        self.tracer = tracer
 
     def run(self, program: Program, warm: bool = True) -> MachineStats:
         """Replay ``program``; ``warm`` pre-loads every touched line into
@@ -57,7 +64,8 @@ class Machine:
                 f"program has {program.n_threads} threads but machine has "
                 f"{self.cfg.n_cores} cores"
             )
-        pm = PMController(self.cfg.pm)
+        tracer = self.tracer
+        pm = PMController(self.cfg.pm, tracer)
         dram = DRAMController()
         hierarchy = CacheHierarchy(self.cfg, pm, dram)
         if warm:
@@ -73,15 +81,22 @@ class Machine:
 
         cores: List[CoreEngine] = []
         stats = MachineStats(design=self.design)
+        if tracer.enabled:
+            stats.metrics = tracer.metrics
         for trace in program.threads:
             core_stats = CoreStats()
+            if tracer.enabled:
+                core_stats.metrics = tracer.metrics.scope(core_track(trace.tid))
             stats.per_core.append(core_stats)
             store_queue = InOrderQueue(self.cfg.core.store_queue_entries)
             domain = domain_cls(
-                trace.tid, self.cfg, hierarchy, pm, core_stats, store_queue
+                trace.tid, self.cfg, hierarchy, pm, core_stats, store_queue,
+                tracer=tracer,
             )
             cores.append(
-                CoreEngine(trace, self.cfg, hierarchy, domain, core_stats, locks)
+                CoreEngine(
+                    trace, self.cfg, hierarchy, domain, core_stats, locks, tracer
+                )
             )
 
         # Min-clock stepping with lock parking.
@@ -113,6 +128,11 @@ class Machine:
         return stats
 
 
-def run_design(design: str, program: Program, cfg: MachineConfig = TABLE_I) -> MachineStats:
+def run_design(
+    design: str,
+    program: Program,
+    cfg: MachineConfig = TABLE_I,
+    tracer: Tracer = NULL_TRACER,
+) -> MachineStats:
     """Convenience wrapper: replay ``program`` on ``design``."""
-    return Machine(design, cfg).run(program)
+    return Machine(design, cfg, tracer).run(program)

@@ -17,8 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.config import PMConfig
 from repro.sim.engine import BandwidthResource
+
+#: Perfetto track names of the controller's shared resources.
+WRITE_QUEUE_TRACK = "pm/write-queue"
+MEDIA_TRACK = "pm/media"
 
 
 @dataclass
@@ -33,8 +38,9 @@ class WriteTicket:
 class PMController:
     """Shared PM controller: acceptance bandwidth, write queue, media."""
 
-    def __init__(self, cfg: PMConfig) -> None:
+    def __init__(self, cfg: PMConfig, tracer: Tracer = NULL_TRACER) -> None:
         self.cfg = cfg
+        self.tracer = tracer
         self._accept = BandwidthResource(cfg.accept_interval)
         #: media sustains one line per this many cycles.
         self._media_interval = cfg.write_to_media / cfg.media_banks
@@ -58,12 +64,17 @@ class PMController:
         is unaffected — the queue is inside the ADR domain.
         """
         self.writes += 1
+        tracer = self.tracer
         grant = self._accept.reserve(t)
         if line >= 0 and self.cfg.coalesce_writes:
             pending = self._queued_line.get(line)
             if pending is not None and pending > grant:
                 self.coalesced += 1
                 acked = grant + self.cfg.write_to_controller
+                if tracer.enabled:
+                    tracer.instant("pm.coalesce", WRITE_QUEUE_TRACK, grant, line=line)
+                    tracer.metrics.counter("pm/coalesced").inc()
+                    tracer.metrics.histogram("pm/ack_latency").observe(acked - t)
                 return WriteTicket(
                     accepted=grant, acked=acked, media_done=pending + self.cfg.write_to_media
                 )
@@ -79,6 +90,16 @@ class PMController:
         acked = accepted + self.cfg.write_to_controller
         if line >= 0:
             self._queued_line[line] = media_start
+        if tracer.enabled:
+            # Queue depth ahead of this write, in media-service units.
+            backlog = max(0, int(round((media_start - accepted) / self._media_interval)))
+            tracer.instant("pm.admit", WRITE_QUEUE_TRACK, accepted, line=line)
+            tracer.counter("pm.wq_depth", WRITE_QUEUE_TRACK, accepted, backlog)
+            tracer.span("pm.drain", MEDIA_TRACK, media_start, media_done - media_start,
+                        line=line)
+            metrics = tracer.metrics
+            metrics.histogram("pm/wq_occupancy").observe(backlog)
+            metrics.histogram("pm/ack_latency").observe(acked - t)
         return WriteTicket(accepted=accepted, acked=acked, media_done=media_done)
 
     def read(self, t: float) -> float:

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # no runtime import: obs depends on this module
+    from repro.obs.metrics import MetricsRegistry, ScopedMetrics
 
 
 @dataclass
@@ -37,6 +40,11 @@ class CoreStats:
     l1_misses: int = 0
     pm_reads: int = 0
     pm_writes: int = 0
+    #: per-core metric view (``core<tid>/...`` names) when the machine
+    #: ran under a tracer; None otherwise.  Never merged.
+    metrics: Optional["ScopedMetrics"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def persist_stalls(self) -> int:
@@ -70,6 +78,11 @@ class MachineStats:
 
     design: str = ""
     per_core: List[CoreStats] = field(default_factory=list)
+    #: registry of queue-occupancy / latency metrics when the machine ran
+    #: under a tracer; None otherwise.  Not part of equality.
+    metrics: Optional["MetricsRegistry"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def cycles(self) -> int:
@@ -111,17 +124,28 @@ class MachineStats:
             return 0.0 if self.persist_stalls == 0 else float("inf")
         return self.persist_stalls / baseline.persist_stalls
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, object]:
+        """Flat scalar summary (the JSON exporter's per-run record).
+
+        Values are ints and floats plus the ``design`` string — hence the
+        ``object`` value type.
+        """
         total = self.total
         return {
             "design": self.design,
             "cycles": self.cycles,
             "ops": total.ops,
             "stores": total.stores,
+            "loads": total.loads,
             "clwbs": total.clwbs,
             "fences": total.fences,
             "persist_stalls": self.persist_stalls,
-            "lock_stalls": total.stall_lock,
+            "stall_fence": total.stall_fence,
+            "stall_queue_full": total.stall_queue_full,
+            "stall_drain": total.stall_drain,
+            "stall_lock": total.stall_lock,
+            "l1_hits": total.l1_hits,
+            "l1_misses": total.l1_misses,
             "ckc": round(self.ckc, 2),
         }
 

@@ -1,0 +1,149 @@
+"""JSON stats schema, bench summary, and CLI surface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness.experiment import default_config
+from repro.obs import BENCH_SCHEMA, STATS_SCHEMA, Tracer, bench_summary, stats_to_json
+from repro.sim.machine import Machine
+from repro.sim.stats import CoreStats, MachineStats, geomean
+from repro.workloads import WORKLOADS, generate_for_design
+
+
+def run_queue(tracer=None):
+    run = generate_for_design(
+        WORKLOADS["queue"], default_config(ops_per_thread=6), "strandweaver", "txn"
+    )
+    machine = Machine("strandweaver") if tracer is None else Machine(
+        "strandweaver", tracer=tracer
+    )
+    return machine.run(run.program)
+
+
+def test_stats_document_schema():
+    stats = run_queue(tracer=Tracer())
+    doc = stats_to_json(stats)
+    assert doc["schema"] == STATS_SCHEMA
+    summary = doc["summary"]
+    for key in ("design", "cycles", "stall_fence", "stall_queue_full",
+                "stall_drain", "stall_lock", "l1_hits", "l1_misses", "ckc"):
+        assert key in summary
+    assert summary["design"] == "strandweaver"
+    assert len(doc["per_core"]) == len(stats.per_core)
+    assert doc["per_core"][0]["persist_stalls"] == stats.per_core[0].persist_stalls
+    assert "metrics" in doc
+    json.dumps(doc)  # must be serialisable
+
+
+def test_stats_document_omits_metrics_when_untraced():
+    doc = stats_to_json(run_queue())
+    assert "metrics" not in doc
+
+
+def test_summary_values_are_scalars():
+    summary = run_queue().summary()
+    assert isinstance(summary["design"], str)
+    for key, value in summary.items():
+        if key != "design":
+            assert isinstance(value, (int, float)), key
+
+
+def test_bench_summary_is_deterministic_and_diffable():
+    a = bench_summary(ops_per_thread=3, benchmarks=["queue"],
+                      designs=["intel-x86", "strandweaver"])
+    b = bench_summary(ops_per_thread=3, benchmarks=["queue"],
+                      designs=["intel-x86", "strandweaver"])
+    assert a["schema"] == BENCH_SCHEMA
+    assert a == b
+    assert len(a["cells"]) == 2
+    assert {c["design"] for c in a["cells"]} == {"intel-x86", "strandweaver"}
+
+
+def test_cli_trace_writes_perfetto_and_stats(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    stats_path = tmp_path / "stats.json"
+    rc = main([
+        "trace", "queue", "--design", "strandweaver", "--ops", "4",
+        "--out", str(trace_path), "--stats-out", str(stats_path),
+    ])
+    assert rc == 0
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]
+    for ev in doc["traceEvents"]:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in ev
+    stats_doc = json.loads(stats_path.read_text())
+    assert stats_doc["schema"] == STATS_SCHEMA
+
+
+def test_cli_trace_ring_mode_bounds_events(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    rc = main([
+        "trace", "queue", "--ops", "4", "--ring", "64", "--out", str(trace_path),
+    ])
+    assert rc == 0
+    doc = json.loads(trace_path.read_text())
+    # 64 events plus per-track metadata records.
+    assert len([e for e in doc["traceEvents"] if e["ph"] != "M"]) == 64
+    assert doc["otherData"]["dropped_events"] > 0
+
+
+def test_cli_trace_rejects_unknown_inputs(capsys):
+    assert main(["trace"]) == 2
+    assert main(["trace", "nope"]) == 2
+    assert main(["trace", "queue", "--design", "nope"]) == 2
+    assert main(["trace", "queue", "--model", "nope"]) == 2
+    assert main(["trace", "queue", "--ring", "-1"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_json_figure_output(capsys):
+    rc = main(["table1", "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.figure/1"
+    assert doc["columns"] == ["component", "value"]
+    assert doc["rows"]
+
+
+def test_cli_bench_writes_summary(tmp_path, capsys):
+    out = tmp_path / "BENCH_trace.json"
+    rc = main(["bench", "--ops", "2", "--out", str(out), "--json"])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == BENCH_SCHEMA
+    assert len(doc["cells"]) == len(doc["benchmarks"]) * len(doc["designs"])
+    printed = json.loads(capsys.readouterr().out)
+    assert printed == doc
+
+
+# -- geomean / merge edge cases (satellite) ------------------------------
+
+
+def test_geomean_edge_cases():
+    assert geomean([]) == 0.0
+    assert geomean([0.0, 0.0]) == 0.0  # zeros are filtered, empty -> 0
+    assert geomean([0.0, 2.0, 8.0]) == pytest.approx(4.0)  # zeros ignored
+    assert geomean([5.0]) == pytest.approx(5.0)
+
+
+def test_core_stats_merge_edge_cases():
+    empty = CoreStats()
+    empty.merge(CoreStats())
+    assert empty.cycles == 0 and empty.ops == 0
+
+    a = CoreStats(cycles=100, ops=10, stall_lock=5, l1_hits=7)
+    a.merge(CoreStats(cycles=50, ops=3, stall_lock=2, l1_misses=4))
+    assert a.cycles == 100  # makespan: max, not sum
+    assert a.ops == 13
+    assert a.stall_lock == 7
+    assert a.l1_hits == 7 and a.l1_misses == 4
+
+
+def test_machine_stats_total_ignores_metrics_field():
+    ms = MachineStats(design="x", per_core=[CoreStats(cycles=10, ops=1)])
+    total = ms.total
+    assert total.ops == 1
+    assert total.metrics is None

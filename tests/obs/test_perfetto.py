@@ -1,0 +1,83 @@
+"""Perfetto trace-event JSON: schema validity and track layout."""
+
+import json
+
+from repro.obs.perfetto import to_perfetto, write_trace
+from repro.obs.tracer import Tracer
+
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def make_tracer() -> Tracer:
+    tr = Tracer()
+    tr.span("op:STORE", "core0", 10.0, 2.0)
+    tr.stall("stall_fence", "core0", 12.0, 5.0)
+    tr.span("clwb", "core0/clwb", 11.0, 300.0, line=42)
+    tr.span("op:LOAD", "core1", 3.0, 1.0)
+    tr.instant("pm.admit", "pm/write-queue", 20.0, line=42)
+    tr.counter("pm.wq_depth", "pm/write-queue", 20.0, 3)
+    tr.span("pm.drain", "pm/media", 25.0, 1000.0)
+    return tr
+
+
+def test_every_record_has_required_keys():
+    doc = to_perfetto(make_tracer())
+    assert doc["traceEvents"]
+    for ev in doc["traceEvents"]:
+        for key in REQUIRED_KEYS:
+            assert key in ev, f"{ev} missing {key}"
+
+
+def test_timestamps_monotonic_per_track():
+    doc = to_perfetto(make_tracer())
+    last = {}
+    for ev in doc["traceEvents"]:
+        key = (ev["pid"], ev["tid"])
+        assert ev["ts"] >= last.get(key, 0), f"ts regressed on track {key}"
+        last[key] = ev["ts"]
+
+
+def test_track_grouping_cores_then_shared():
+    doc = to_perfetto(make_tracer())
+    names = {}
+    threads = {}
+    for ev in doc["traceEvents"]:
+        if ev["ph"] != "M":
+            continue
+        if ev["name"] == "process_name":
+            names[ev["pid"]] = ev["args"]["name"]
+        elif ev["name"] == "thread_name":
+            threads[ev["args"]["name"]] = (ev["pid"], ev["tid"])
+    # Core groups come first, then shared resources, each its own process.
+    assert names[1] == "core0"
+    assert names[2] == "core1"
+    assert names[3] == "pm"
+    # Sub-tracks share the core's process.
+    assert threads["core0"][0] == threads["core0/clwb"][0] == 1
+    assert threads["pm/write-queue"][0] == threads["pm/media"][0] == 3
+
+
+def test_phase_specific_fields():
+    doc = to_perfetto(make_tracer())
+    by_ph = {}
+    for ev in doc["traceEvents"]:
+        by_ph.setdefault(ev["ph"], []).append(ev)
+    for ev in by_ph["X"]:
+        assert "dur" in ev and ev["dur"] > 0
+    for ev in by_ph["i"]:
+        assert ev["s"] == "t"
+    for ev in by_ph["C"]:
+        assert "value" in ev["args"]
+
+
+def test_write_trace_round_trips_through_json(tmp_path):
+    path = tmp_path / "trace.json"
+    written = write_trace(str(path), make_tracer())
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(written))
+    assert loaded["otherData"]["dropped_events"] == 0
+
+
+def test_empty_tracer_exports_valid_document():
+    doc = to_perfetto(Tracer())
+    assert doc["traceEvents"] == []

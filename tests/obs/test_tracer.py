@@ -1,0 +1,73 @@
+"""Tracer modes, event typing, and the disabled-tracer contract."""
+
+import pytest
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, core_track
+
+
+def test_core_track_naming():
+    assert core_track(0) == "core0"
+    assert core_track(7) == "core7"
+
+
+def test_unbounded_mode_keeps_everything():
+    tr = Tracer()
+    for i in range(100):
+        tr.instant("tick", "core0", float(i))
+    assert len(tr) == 100
+    assert tr.dropped == 0
+    assert [e.ts for e in tr.events()] == [float(i) for i in range(100)]
+
+
+def test_ring_mode_keeps_most_recent_and_counts_drops():
+    tr = Tracer(mode="ring", capacity=8)
+    for i in range(20):
+        tr.instant("tick", "core0", float(i))
+    assert len(tr) == 8
+    assert tr.dropped == 12
+    # Oldest-first unwrap of the ring: the last 8 timestamps in order.
+    assert [e.ts for e in tr.events()] == [float(i) for i in range(12, 20)]
+
+
+def test_invalid_mode_and_capacity_rejected():
+    with pytest.raises(ValueError):
+        Tracer(mode="bounded")
+    with pytest.raises(ValueError):
+        Tracer(mode="ring", capacity=0)
+
+
+def test_span_with_zero_duration_becomes_instant():
+    tr = Tracer()
+    tr.span("x", "core0", 5.0, 0.0)
+    tr.span("y", "core0", 6.0, -1.0)
+    assert [e.ph for e in tr.events()] == ["i", "i"]
+
+
+def test_stall_strips_taxonomy_prefix_and_records_cause():
+    tr = Tracer()
+    tr.stall("stall_queue_full", "core0", 10.0, 4.0, queue="rob")
+    (ev,) = tr.events()
+    assert ev.name == "stall:queue_full"
+    assert ev.ph == "X"
+    assert ev.dur == 4.0
+    assert ev.args["cause"] == "queue_full"
+    assert ev.args["queue"] == "rob"
+
+
+def test_counter_event_carries_value():
+    tr = Tracer()
+    tr.counter("occupancy", "pm/write-queue", 3.0, 17)
+    (ev,) = tr.events()
+    assert ev.ph == "C"
+    assert ev.args == {"value": 17}
+
+
+def test_null_tracer_is_disabled_and_inert():
+    assert NULL_TRACER.enabled is False
+    NULL_TRACER.instant("x", "core0", 0.0)
+    NULL_TRACER.span("x", "core0", 0.0, 1.0)
+    NULL_TRACER.counter("x", "core0", 0.0, 1)
+    NULL_TRACER.stall("stall_fence", "core0", 0.0, 1.0)
+    assert NULL_TRACER.events() == []
+    assert len(NULL_TRACER) == 0
+    assert isinstance(NULL_TRACER, NullTracer)
