@@ -5,12 +5,16 @@ Usage::
     python -m repro [table1|table2|fig7|fig8|fig9|fig10|models|all] [--ops N] [--json]
     python -m repro trace <workload> --design <d> [--model m] [--out trace.json]
     python -m repro bench [--ops N] [--out BENCH_trace.json]
+    python -m repro crashtest <workload> --design <d> --crashes N [--seed S] [--json]
 
 ``trace`` replays one (workload, design, model) cell with the tracer on
 and writes a Chrome/Perfetto trace-event JSON (open it in
 ui.perfetto.dev) plus, with ``--stats-out``, the machine-readable stats
 document.  ``bench`` runs every (benchmark, design) cell and writes a
-deterministic summary the harness can diff across PRs.
+deterministic summary the harness can diff across PRs.  ``crashtest``
+crashes the simulator at N seeded fault points, recovers each crash
+image and checks the workload's invariants — ``--design all`` runs the
+differential oracle over every hardware design.
 """
 
 import argparse
@@ -37,7 +41,7 @@ ARTEFACTS = {
     "models": lambda ops: model_sensitivity(ops_per_thread=ops),
 }
 
-COMMANDS = sorted(ARTEFACTS) + ["all", "trace", "bench"]
+COMMANDS = sorted(ARTEFACTS) + ["all", "trace", "bench", "crashtest"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,13 +54,14 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="all",
         choices=COMMANDS,
-        help="table/figure to regenerate, or 'trace'/'bench' (default: all)",
+        help="table/figure to regenerate, or 'trace'/'bench'/'crashtest' "
+        "(default: all)",
     )
     parser.add_argument(
         "workload",
         nargs="?",
         default=None,
-        help="workload to replay (trace command only), e.g. 'queue'",
+        help="workload to replay ('trace' and 'crashtest'), e.g. 'queue'",
     )
     parser.add_argument(
         "--ops", type=int, default=16,
@@ -68,7 +73,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--design", default="strandweaver",
-        help="hardware design for 'trace' (default: strandweaver)",
+        help="hardware design for 'trace'/'crashtest' (default: strandweaver; "
+        "'crashtest' also accepts 'all' for the differential oracle)",
     )
     parser.add_argument(
         "--model", default="txn",
@@ -86,6 +92,32 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ring", type=int, default=0, metavar="N",
         help="keep only the most recent N trace events (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--crashes", type=int, default=50, metavar="N",
+        help="number of seeded crash points for 'crashtest' (default 50)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed for 'crashtest' fault schedules (default 7)",
+    )
+    parser.add_argument(
+        "--torn", action="store_true",
+        help="crashtest: also tear the latest durable store (checker stress; "
+        "failures become the expected outcome for every design)",
+    )
+    parser.add_argument(
+        "--no-writeback-faults", action="store_true",
+        help="crashtest: disable injected delayed write-backs",
+    )
+    parser.add_argument(
+        "--no-drop-faults", action="store_true",
+        help="crashtest: disable delayed-persist (drop) faults",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="crashtest: skip shrinking the first failure to a minimal "
+        "reproducer",
     )
     return parser
 
@@ -140,6 +172,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_crashtest(args: argparse.Namespace) -> int:
+    from repro.chaos import run_crashtest, run_differential
+    from repro.sim.machine import DESIGNS
+    from repro.workloads import WORKLOADS
+
+    if args.workload is None:
+        print("crashtest requires a workload, e.g.: "
+              "python -m repro crashtest queue", file=sys.stderr)
+        return 2
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; choose from {sorted(WORKLOADS)}",
+              file=sys.stderr)
+        return 2
+    if args.design != "all" and args.design not in DESIGNS:
+        print(f"unknown design {args.design!r}; choose from "
+              f"{sorted(DESIGNS) + ['all']}", file=sys.stderr)
+        return 2
+    if args.crashes < 1:
+        print("--crashes must be at least 1", file=sys.stderr)
+        return 2
+    kwargs = dict(
+        crashes=args.crashes,
+        seed=args.seed,
+        torn=args.torn,
+        writeback_faults=not args.no_writeback_faults,
+        drop_faults=not args.no_drop_faults,
+        shrink=not args.no_shrink,
+    )
+    if args.design == "all":
+        result = run_differential(args.workload, **kwargs)
+    else:
+        result = run_crashtest(args.workload, args.design, **kwargs)
+    if args.json:
+        print(json.dumps(result.summary(), indent=1, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import write_bench_summary
 
@@ -160,6 +231,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.artefact == "bench":
         return _cmd_bench(args)
+    if args.artefact == "crashtest":
+        return _cmd_crashtest(args)
     names = sorted(ARTEFACTS) if args.artefact == "all" else [args.artefact]
     if args.json:
         docs = [ARTEFACTS[name](args.ops).to_json() for name in names]

@@ -1,0 +1,50 @@
+"""Crash injection and recovery validation (the chaos harness).
+
+Crashes the timing simulator mid-run at seeded fault points, lifts the
+machine's durable frontier into a PM image, runs recovery, and checks
+the workload's invariants — differentially across all hardware designs
+(see :mod:`repro.chaos.harness` for the full story).
+"""
+
+from repro.chaos.harness import (
+    CHAOS_CFG,
+    CrashHarness,
+    CrashSample,
+    CrashTestResult,
+    DifferentialResult,
+    run_crashtest,
+    run_differential,
+)
+from repro.chaos.image import ImageInfo, build_crash_image, durable_cut
+from repro.chaos.plan import (
+    DEFAULT_DROP_PROB,
+    DEFAULT_WRITEBACK_PROB,
+    CrashSchedule,
+    FaultPlan,
+    sample_schedules,
+)
+from repro.chaos.shrink import ShrinkResult, shrink_crash_point
+from repro.sim.durability import CrashState, CrashTrigger, DurabilityTracker
+
+__all__ = [
+    "CHAOS_CFG",
+    "DEFAULT_DROP_PROB",
+    "DEFAULT_WRITEBACK_PROB",
+    "CrashHarness",
+    "CrashSample",
+    "CrashSchedule",
+    "CrashState",
+    "CrashTestResult",
+    "CrashTrigger",
+    "DifferentialResult",
+    "DurabilityTracker",
+    "FaultPlan",
+    "ImageInfo",
+    "ShrinkResult",
+    "build_crash_image",
+    "durable_cut",
+    "run_crashtest",
+    "run_differential",
+    "sample_schedules",
+    "shrink_crash_point",
+]

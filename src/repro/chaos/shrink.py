@@ -1,0 +1,91 @@
+"""Shrink a failing crash point to a minimal reproducer.
+
+A random crash at cycle 1.2M that breaks recovery is hard to stare at;
+the same failure at cycle 9.3K — just after the guilty persist became
+durable — is debuggable.  ``shrink_crash_point`` binary-searches the
+trigger threshold downwards, re-running the full crash-recover-check
+loop with the *same* fault seed at every probe, and returns the smallest
+threshold that still fails together with its failure message.
+
+Failure is not perfectly monotone in the crash point (later crashes give
+the hardware time to finish persists), so the result is a local minimum:
+the earliest failing point on the binary-search path.  That is exactly
+what property-testing shrinkers deliver, and in practice it lands right
+after the inconsistency is first exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.chaos.plan import FaultPlan
+from repro.sim.durability import CrashTrigger
+
+if TYPE_CHECKING:
+    from repro.chaos.harness import CrashHarness
+
+#: stop once the failing window is this tight (cycles / ops).
+CYCLE_TOLERANCE = 1.0
+OPS_TOLERANCE = 1
+
+
+@dataclass
+class ShrinkResult:
+    """Minimal failing crash point found by binary search."""
+
+    kind: str
+    original_at: float
+    minimal_at: float
+    probes: int
+    violation: str
+
+    def describe(self) -> str:
+        unit = "cycle" if self.kind == "cycle" else "op"
+        return (
+            f"minimal failing crash point {unit}={self.minimal_at:g} "
+            f"(from {self.original_at:g}, {self.probes} probes): "
+            f"{self.violation}"
+        )
+
+
+def shrink_crash_point(
+    harness: "CrashHarness", plan: FaultPlan, max_probes: int = 24
+) -> Optional[ShrinkResult]:
+    """Binary-search the smallest trigger threshold that still fails.
+
+    Keeps every other knob of ``plan`` (fault seed, write-back
+    probability, torn mode) fixed so the shrunk crash is the same
+    experiment, only earlier.  Returns None if ``plan`` does not fail on
+    re-execution (a flaky report would indicate lost determinism).
+    """
+    kind = plan.trigger.kind
+    tolerance = CYCLE_TOLERANCE if kind == "cycle" else OPS_TOLERANCE
+
+    def probe(at: float) -> Optional[str]:
+        probed = replace(plan, trigger=CrashTrigger(kind, at))
+        return harness.crash_once(probed, index=-1).violation
+
+    hi = plan.trigger.at
+    violation = probe(hi)
+    probes = 1
+    if violation is None:
+        return None
+    lo = 0.0
+    while hi - lo > tolerance and probes < max_probes:
+        mid = (lo + hi) / 2 if kind == "cycle" else (int(lo) + int(hi)) // 2
+        if mid <= lo or mid >= hi:
+            break
+        msg = probe(mid)
+        probes += 1
+        if msg is not None:
+            hi, violation = mid, msg
+        else:
+            lo = mid
+    return ShrinkResult(
+        kind=kind,
+        original_at=plan.trigger.at,
+        minimal_at=hi,
+        probes=probes,
+        violation=violation,
+    )

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.sim.durability import NULL_DURABILITY
 from repro.sim.memory import PMController
 
 #: signature of the cache-flush front half: (time, line) -> departure time.
@@ -30,6 +31,7 @@ class StrandBuffer:
         flush: FlushFn,
         tracer: Tracer = NULL_TRACER,
         track: str = "sbu",
+        durability=NULL_DURABILITY,
     ) -> None:
         if capacity <= 0:
             raise ValueError("strand buffer needs at least one entry")
@@ -38,6 +40,7 @@ class StrandBuffer:
         self._flush = flush
         self._tracer = tracer
         self._track = track
+        self._durability = durability
         #: retire times of live entries, oldest first (monotone).
         self._retire_times: List[float] = []
         self._last_retire = 0.0
@@ -66,6 +69,7 @@ class StrandBuffer:
         issue = self._slot_time(t)
         depart = self._flush(issue, line)
         ticket = self._pm.write(max(depart, self._dep_ready), line)
+        self._durability.line_persisted(line, issue, ticket.accepted)
         retire = max(ticket.acked, self._last_retire)
         self._retire_times.append(retire)
         self._last_retire = retire
@@ -95,6 +99,10 @@ class StrandBuffer:
         """Time when everything currently buffered has persisted."""
         return max(t, self._last_retire)
 
+    def occupancy_at(self, t: float) -> int:
+        """Entries not yet retired at ``t`` (crash-state reporting)."""
+        return sum(1 for x in self._retire_times if x > t)
+
     def line_drain_time(self, line: int, t: float) -> float:
         """Time when this line's pending CLWBs (if any) have persisted."""
         retire = self._line_retire.get(line)
@@ -117,13 +125,15 @@ class StrandBufferUnit:
         flush: FlushFn,
         tracer: Tracer = NULL_TRACER,
         track: str = "sbu",
+        durability=NULL_DURABILITY,
     ) -> None:
         if n_buffers <= 0:
             raise ValueError("need at least one strand buffer")
         self._tracer = tracer
         self._track = track
         self.buffers = [
-            StrandBuffer(entries_per_buffer, pm, flush, tracer, f"{track}/sbu{i}")
+            StrandBuffer(entries_per_buffer, pm, flush, tracer, f"{track}/sbu{i}",
+                         durability=durability)
             for i in range(n_buffers)
         ]
         self.ongoing = 0
@@ -153,6 +163,10 @@ class StrandBufferUnit:
     def drain_time(self, t: float) -> float:
         """Time when all buffers have fully drained to the controller."""
         return max(buf.drain_time(t) for buf in self.buffers)
+
+    def occupancy_at(self, t: float) -> List[int]:
+        """Per-buffer live-entry counts at ``t`` (crash-state reporting)."""
+        return [buf.occupancy_at(t) for buf in self.buffers]
 
     def line_drain_time(self, line: int, t: float) -> float:
         """Snoop stall: wait only for pending CLWBs of ``line`` — the

@@ -40,6 +40,7 @@ class StrandWeaverDomain(PersistDomain):
             self._flush_line,
             tracer=self.tracer,
             track=self.track,
+            durability=self.durability,
         )
         self.pq = PersistQueue(strand_cfg.persist_queue_entries)
         self.pq.instrument(self.tracer, self.track + "/pq")
@@ -95,6 +96,12 @@ class StrandWeaverDomain(PersistDomain):
         self._store_gate = 0.0
         return done
 
+    def occupancy(self, t: float) -> dict:
+        return {
+            "persist_queue": self.pq.occupancy_at(t),
+            "strand_buffers": self.sbu.occupancy_at(t),
+        }
+
     # -- coherence ----------------------------------------------------------
 
     def _snoop_drain_hook(self, owner_tid: int, line: int, t: float) -> float:
@@ -143,3 +150,6 @@ class NoPersistQueueDomain(StrandWeaverDomain):
         self._charge("stall_drain", done - t, start=t)
         self._store_gate = 0.0
         return done
+
+    def occupancy(self, t: float) -> dict:
+        return {"strand_buffers": self.sbu.occupancy_at(t)}

@@ -53,6 +53,7 @@ def _check_cut(
     layout: Optional[LogLayout],
     invariant: Invariant,
     result: VerificationResult,
+    context: str = "",
 ) -> None:
     image = materialise(dag, cut, space)
     if layout is not None:
@@ -61,7 +62,8 @@ def _check_cut(
     try:
         invariant(image)
     except AssertionError as exc:
-        result.failures.append(str(exc))
+        prefix = f"[{context}] " if context else ""
+        result.failures.append(f"{prefix}{exc}")
 
 
 def verify_exhaustive(
@@ -95,16 +97,26 @@ def verify_sampled(
     samples: int = 50,
     seed: int = 0,
 ) -> VerificationResult:
-    """Check the invariant on sampled crash states (large programs)."""
+    """Check the invariant on sampled crash states (large programs).
+
+    Failure messages carry the RNG seed, the sample index and the
+    cut-generation strategy, so ``verify_sampled(..., seed=S)`` replays
+    the exact failing crash state verbatim.
+    """
     dag = PersistDag(program)
     rng = random.Random(seed)
     result = VerificationResult()
     for i in range(samples):
         if i % 3 == 0:
+            strategy = "frontier_cut(drop=0.25)"
             cut = frontier_cut(dag, rng, drop=0.25)
         elif i % 3 == 1:
+            strategy = "random_cut(density=0.5)"
             cut = random_cut(dag, rng, density=0.5)
         else:
-            cut = prefix_cut(dag, rng.randrange(len(dag) + 1))
-        _check_cut(dag, cut, space, layout, invariant, result)
+            n = rng.randrange(len(dag) + 1)
+            strategy = f"prefix_cut(n={n})"
+            cut = prefix_cut(dag, n)
+        context = f"verify_sampled seed={seed} sample={i}/{samples} {strategy}"
+        _check_cut(dag, cut, space, layout, invariant, result, context=context)
     return result

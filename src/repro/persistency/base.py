@@ -22,6 +22,7 @@ from repro.core.ops import Op, OpKind
 from repro.obs.tracer import NULL_TRACER, Tracer, core_track
 from repro.sim.cache import CacheHierarchy
 from repro.sim.config import MachineConfig
+from repro.sim.durability import NULL_DURABILITY, StoreRecord
 from repro.sim.engine import InOrderQueue
 from repro.sim.memory import PMController
 from repro.sim.stats import CoreStats
@@ -42,6 +43,7 @@ class PersistDomain(ABC):
         stats: CoreStats,
         store_queue: InOrderQueue,
         tracer: Tracer = NULL_TRACER,
+        durability=NULL_DURABILITY,
     ) -> None:
         self.tid = tid
         self.cfg = cfg
@@ -50,6 +52,10 @@ class PersistDomain(ABC):
         self.stats = stats
         self.store_queue = store_queue
         self.tracer = tracer
+        #: durability tracker fed by this core's persist hardware; the
+        #: no-op :data:`~repro.sim.durability.NULL_DURABILITY` unless the
+        #: machine runs under a fault plan (see repro.chaos).
+        self.durability = durability
         self.track = core_track(tid)
         #: CLWB lifetime spans overlap (many in flight), so they get a
         #: sub-track of the core's group rather than the dispatch row.
@@ -85,6 +91,25 @@ class PersistDomain(ABC):
         """Read-exclusive stall before surrendering a dirty line."""
         return t
 
+    # -- crash injection (repro.chaos) -------------------------------------
+
+    def durable_frontier(self, t: float) -> List[StoreRecord]:
+        """This core's stores that are durable at cycle ``t``.
+
+        Derived from the live durability tracker this domain's persist
+        hardware (fill buffers, persist buffer, strand buffers, persist
+        queue) has been feeding: a store is durable once every line it
+        touches was accepted by the ADR-protected PM controller.
+        """
+        return [
+            rec for rec in self.durability.frontier(t) if rec.op.tid == self.tid
+        ]
+
+    def occupancy(self, t: float) -> dict:
+        """Occupancy of this design's persist structures at cycle ``t``
+        (reported in crash states for failure diagnosis)."""
+        return {}
+
     # -- shared helpers ----------------------------------------------------
 
     def _flush_line(self, t: float, line: int) -> float:
@@ -114,6 +139,10 @@ class OutstandingSet:
 
     def prune(self, t: float) -> None:
         self._times = [x for x in self._times if x > t]
+
+    def outstanding_at(self, t: float) -> int:
+        """Entries still in flight at ``t`` (crash-state reporting)."""
+        return sum(1 for x in self._times if x > t)
 
     def earliest(self) -> float:
         return min(self._times) if self._times else 0.0

@@ -53,6 +53,7 @@ class HopsDomain(PersistDomain):
         ticket = self.pm.write(max(depart, self._epoch_ready), line)
         self._buffered.append(ticket.acked)
         self._open_epoch.append(ticket.acked)
+        self.durability.line_persisted(line, slot, ticket.accepted)
         self.stats.pm_writes += 1
         if self.tracer.enabled:
             self.tracer.span("clwb", self.clwb_track, slot, ticket.acked - slot, line=line)
@@ -82,3 +83,6 @@ class HopsDomain(PersistDomain):
         self._open_epoch = []
         self._epoch_ready = max(self._epoch_ready, done)
         return done
+
+    def occupancy(self, t: float) -> dict:
+        return {"persist_buffer": sum(1 for x in self._buffered if x > t)}

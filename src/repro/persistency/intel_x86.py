@@ -29,6 +29,7 @@ class IntelX86Domain(PersistDomain):
         depart = self._flush_line(slot, line)
         ticket = self.pm.write(depart, line)
         self._outstanding.add(ticket.acked)
+        self.durability.line_persisted(line, slot, ticket.accepted)
         self.stats.pm_writes += 1
         if self.tracer.enabled:
             self.tracer.span("clwb", self.clwb_track, slot, ticket.acked - slot, line=line)
@@ -54,3 +55,6 @@ class IntelX86Domain(PersistDomain):
         self._charge("stall_drain", done - t, start=t)
         self._outstanding.clear()
         return done
+
+    def occupancy(self, t: float) -> dict:
+        return {"fill_buffers": self._outstanding.outstanding_at(t)}

@@ -31,6 +31,7 @@ class NonAtomicDomain(PersistDomain):
         depart = self._flush_line(slot, line)
         ticket = self.pm.write(depart, line)
         self._outstanding.add(ticket.acked)
+        self.durability.line_persisted(line, slot, ticket.accepted)
         self.stats.pm_writes += 1
         if self.tracer.enabled:
             self.tracer.span("clwb", self.clwb_track, slot, ticket.acked - slot, line=line)
@@ -49,3 +50,6 @@ class NonAtomicDomain(PersistDomain):
         self._charge("stall_drain", done - t, start=t)
         self._outstanding.clear()
         return done
+
+    def occupancy(self, t: float) -> dict:
+        return {"fill_buffers": self._outstanding.outstanding_at(t)}

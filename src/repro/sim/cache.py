@@ -18,6 +18,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.durability import NULL_DURABILITY, SOURCE_WRITEBACK
 from repro.sim.memory import DRAMController, PMController
 
 
@@ -110,6 +111,11 @@ class CacheHierarchy:
         #: StrandWeaver installs a drain hook per core; other designs None.
         self.drain_hooks: List[Optional[DrainHook]] = [None] * cfg.n_cores
         self.coherence_transfers = 0
+        #: durability tracker for crash injection; natural dirty evictions
+        #: reach PM too and so extend the durable frontier (marked with
+        #: their "writeback" source so the chaos layer can reason about
+        #: them separately from explicit CLWBs).
+        self.durability = NULL_DURABILITY
 
     # -- internal helpers -------------------------------------------------
 
@@ -121,7 +127,10 @@ class CacheHierarchy:
         if not dirty:
             return
         if to_pm:
-            self.pm.write(t, line)
+            ticket = self.pm.write(t, line)
+            self.durability.line_persisted(
+                line, t, ticket.accepted, source=SOURCE_WRITEBACK
+            )
         else:
             self.dram.access(t)
 

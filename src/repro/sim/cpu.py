@@ -64,6 +64,12 @@ class LockTable:
     def holder_pending(self, lock_id: int) -> bool:
         return self._next_idx[lock_id] < len(self._order[lock_id])
 
+    def next_holder(self, lock_id: int) -> Optional[int]:
+        """Thread whose turn the lock is waiting for (deadlock reports)."""
+        order = self._order[lock_id]
+        idx = self._next_idx[lock_id]
+        return order[idx] if idx < len(order) else None
+
 
 class CoreEngine:
     """Replays one thread's micro-ops, maintaining a local clock."""
@@ -144,11 +150,25 @@ class CoreEngine:
         # retires to the cache — behind any elder CLWBs parked in the
         # store queue (the NO-PERSIST-QUEUE head-of-line effect).
         retire = self.store_queue.push(slot, done)
+        if persistent and self.domain.durability.enabled:
+            self.domain.durability.note_store(op, retire)
         line = line_of(op.addr)
         prev = self._line_store_retire.get(line, 0.0)
         self._line_store_retire[line] = max(prev, retire)
         self.stats.stores += 1
         return slot + self.HIT_COST, retire
+
+    def blocked_state(self, lock_id: int) -> str:
+        """One-line description of where this core is stuck, for
+        :class:`~repro.sim.machine.SimulationDeadlock` reports."""
+        op = self.trace[self.pc] if self.pc < len(self.trace) else None
+        holder = self.locks.next_holder(lock_id)
+        expect = f"core {holder}" if holder is not None else "nobody (order exhausted)"
+        return (
+            f"core {self.tid}: op {self.pc}/{len(self.trace)} {op!r}, "
+            f"local clock {self.clock:.1f}, waiting on lock {lock_id} "
+            f"(next holder by recorded order: {expect})"
+        )
 
     # -- stepping ------------------------------------------------------------
 

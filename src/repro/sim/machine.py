@@ -10,7 +10,7 @@ acquisition that is not yet its turn is parked and woken by the release.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Type
+from typing import Dict, List, Optional, Type
 
 from repro.core.ops import OpKind, Program
 from repro.core.strandweaver import NoPersistQueueDomain, StrandWeaverDomain
@@ -22,6 +22,7 @@ from repro.persistency.nonatomic import NonAtomicDomain
 from repro.sim.cache import CacheHierarchy
 from repro.sim.config import MachineConfig, TABLE_I
 from repro.sim.cpu import Blocked, CoreEngine, LockTable
+from repro.sim.durability import CrashState, DurabilityTracker
 from repro.sim.engine import InOrderQueue
 from repro.sim.memory import DRAMController, PMController
 from repro.sim.stats import CoreStats, MachineStats
@@ -37,7 +38,12 @@ DESIGNS: Dict[str, Type[PersistDomain]] = {
 
 
 class SimulationDeadlock(Exception):
-    """All unfinished cores are blocked — a replay invariant was broken."""
+    """All unfinished cores are blocked — a replay invariant was broken.
+
+    The message lists every parked core's position (op index, the op it is
+    stuck on, its local clock) and the resource it is blocked on, so the
+    broken hand-off can be identified without re-running under a tracer.
+    """
 
 
 class Machine:
@@ -55,9 +61,19 @@ class Machine:
         self.cfg = cfg
         self.tracer = tracer
 
-    def run(self, program: Program, warm: bool = True) -> MachineStats:
+    def run(
+        self, program: Program, warm: bool = True, fault_plan=None
+    ) -> MachineStats:
         """Replay ``program``; ``warm`` pre-loads every touched line into
         the L2 to model steady-state measurement (see CacheHierarchy.warm).
+
+        ``fault_plan`` (anything exposing ``.trigger`` with ``kind`` of
+        ``"cycle"``/``"ops"`` and a threshold ``at`` — see
+        :class:`repro.chaos.FaultPlan`) cuts the replay short at the
+        trigger point and attaches a :class:`CrashState` snapshot of the
+        machine's durable frontier and persist-structure occupancy to the
+        returned stats.  Without a plan the durability tracker is the
+        no-op null object, so timing is bit-identical to a plain run.
         """
         if program.n_threads > self.cfg.n_cores:
             raise ValueError(
@@ -79,7 +95,16 @@ class Machine:
         locks = LockTable(program.lock_order)
         domain_cls = DESIGNS[self.design]
 
+        trigger = fault_plan.trigger if fault_plan is not None else None
+        tracker = None
+        if fault_plan is not None:
+            tracker = DurabilityTracker()
+            # Natural dirty evictions reach PM too; record them so the
+            # durable frontier reflects everything the ADR domain holds.
+            hierarchy.durability = tracker
+
         cores: List[CoreEngine] = []
+        domains: List[PersistDomain] = []
         stats = MachineStats(design=self.design)
         if tracer.enabled:
             stats.metrics = tracer.metrics
@@ -89,10 +114,12 @@ class Machine:
                 core_stats.metrics = tracer.metrics.scope(core_track(trace.tid))
             stats.per_core.append(core_stats)
             store_queue = InOrderQueue(self.cfg.core.store_queue_entries)
+            kwargs = {} if tracker is None else {"durability": tracker}
             domain = domain_cls(
                 trace.tid, self.cfg, hierarchy, pm, core_stats, store_queue,
-                tracer=tracer,
+                tracer=tracer, **kwargs,
             )
+            domains.append(domain)
             cores.append(
                 CoreEngine(
                     trace, self.cfg, hierarchy, domain, core_stats, locks, tracer
@@ -103,20 +130,38 @@ class Machine:
         ready = [(core.clock, core.tid) for core in cores if not core.finished]
         heapq.heapify(ready)
         parked: Dict[int, List[CoreEngine]] = {}  # lock_id -> waiting cores
+        crash_cycle: Optional[float] = None
+        dispatched = 0
 
         while ready or parked:
             if not ready:
-                raise SimulationDeadlock(
-                    f"cores parked on locks {sorted(parked)} with no runnable core"
+                detail = "; ".join(
+                    waiter.blocked_state(lock_id)
+                    for lock_id, waiters in sorted(parked.items())
+                    for waiter in waiters
                 )
-            _, tid = heapq.heappop(ready)
+                raise SimulationDeadlock(
+                    f"[{self.design}] all unfinished cores are parked with no "
+                    f"runnable core: {detail}"
+                )
+            clock, tid = heapq.heappop(ready)
             core = cores[tid]
             if core.finished:
                 continue
+            if trigger is not None and trigger.kind == "cycle" and clock >= trigger.at:
+                # The minimum runnable clock passed the crash point; parked
+                # cores resume no earlier than their releaser, so nothing
+                # can dispatch before ``at`` any more.
+                crash_cycle = float(trigger.at)
+                break
             blocked = core.step()
             if blocked is not None:
                 parked.setdefault(blocked.lock_id, []).append(core)
                 continue
+            dispatched += 1
+            if trigger is not None and trigger.kind == "ops" and dispatched >= trigger.at:
+                crash_cycle = core.clock
+                break
             # A release may wake parked cores (their turn may have come).
             if core.pc > 0 and core.trace[core.pc - 1].kind is OpKind.LOCK_REL:
                 lock_id = core.trace[core.pc - 1].lock_id
@@ -125,6 +170,31 @@ class Machine:
             if not core.finished:
                 heapq.heappush(ready, (core.clock, core.tid))
 
+        if tracker is not None:
+            if crash_cycle is None:
+                # The program outran the trigger: power fails after the
+                # final drain, so the image degrades to full recovery.
+                crash_cycle = max((core.clock for core in cores), default=0.0)
+            durable = [
+                rec
+                for domain in domains
+                for rec in domain.durable_frontier(crash_cycle)
+            ]
+            durable.sort(key=lambda rec: rec.op.gseq)
+            stats.crash = CrashState(
+                cycle=crash_cycle,
+                design=self.design,
+                durable=durable,
+                in_flight=tracker.in_flight(crash_cycle),
+                occupancy={
+                    "pm_write_queue": pm.write_queue_depth(crash_cycle),
+                    "cores": {
+                        domain.tid: domain.occupancy(crash_cycle)
+                        for domain in domains
+                    },
+                },
+                tracker=tracker,
+            )
         return stats
 
 

@@ -102,6 +102,12 @@ class PMController:
             metrics.histogram("pm/ack_latency").observe(acked - t)
         return WriteTicket(accepted=accepted, acked=acked, media_done=media_done)
 
+    def write_queue_depth(self, t: float) -> int:
+        """Lines sitting in the write queue at ``t`` — accepted into the
+        ADR domain but not yet started on the media (crash-state
+        reporting)."""
+        return sum(1 for start in self._queued_line.values() if start > t)
+
     def read(self, t: float) -> float:
         """Issue one line read at ``t``; returns data-return time."""
         self.reads += 1

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # no runtime import: obs depends on this module
     from repro.obs.metrics import MetricsRegistry, ScopedMetrics
+    from repro.sim.durability import CrashState
 
 
 @dataclass
@@ -83,6 +84,9 @@ class MachineStats:
     metrics: Optional["MetricsRegistry"] = field(
         default=None, repr=False, compare=False
     )
+    #: machine state at the injected crash point when the run was cut
+    #: short by a fault plan (see repro.chaos); None on normal completion.
+    crash: Optional["CrashState"] = field(default=None, repr=False, compare=False)
 
     @property
     def cycles(self) -> int:

@@ -96,6 +96,11 @@ class GeneratedRun:
     runtime: PmRuntime
     program: Program
 
+    def check_image(self, image: PersistentMemory) -> None:
+        """Run the workload's invariants against ``image`` (normally a
+        recovered crash image); raises :class:`CheckFailure` on violation."""
+        self.workload.check(DirectAccessor(image))
+
 
 def make_model(name: str, **kwargs) -> PersistencyModel:
     """Instantiate a language-level persistency model by name."""

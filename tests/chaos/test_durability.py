@@ -1,0 +1,72 @@
+"""Unit tests for the machine-state durability tracker."""
+
+from repro.core.ops import Op, OpKind
+from repro.sim.durability import (
+    INF,
+    NULL_DURABILITY,
+    SOURCE_CLWB,
+    SOURCE_WRITEBACK,
+    DurabilityTracker,
+)
+
+
+def store(addr, size, gseq):
+    return Op(OpKind.STORE, addr=addr, size=size, data=b"\xab" * size, gseq=gseq)
+
+
+def test_store_durable_once_line_accepted():
+    tracker = DurabilityTracker()
+    tracker.note_store(store(0x100, 8, gseq=1), retire=10.0)
+    assert tracker.frontier(1e9) == []
+    assert [r.op.gseq for r in tracker.in_flight(10.0)] == [1]
+
+    tracker.line_persisted(0x100 // 64, content_time=20.0, durable_time=35.0)
+    (rec,) = tracker.frontier(35.0)
+    assert rec.durable == 35.0
+    assert rec.source == SOURCE_CLWB
+    assert tracker.frontier(34.9) == []
+    assert tracker.in_flight(35.0) == []
+
+
+def test_flush_before_retire_does_not_cover():
+    tracker = DurabilityTracker()
+    tracker.note_store(store(0x100, 8, gseq=1), retire=50.0)
+    # Line content was read out at t=40 — before the store retired, so
+    # the written-back bytes predate this store.
+    tracker.line_persisted(0x100 // 64, content_time=40.0, durable_time=60.0)
+    assert tracker.records[0].durable == INF
+    tracker.line_persisted(0x100 // 64, content_time=55.0, durable_time=70.0)
+    assert tracker.records[0].durable == 70.0
+
+
+def test_multi_line_store_needs_every_line():
+    tracker = DurabilityTracker()
+    tracker.note_store(store(60, 16, gseq=1), retire=5.0)  # spans lines 0, 1
+    tracker.line_persisted(0, content_time=10.0, durable_time=12.0)
+    assert tracker.records[0].durable == INF
+    tracker.line_persisted(1, content_time=11.0, durable_time=30.0)
+    assert tracker.records[0].durable == 30.0
+
+
+def test_writeback_source_is_sticky():
+    tracker = DurabilityTracker()
+    tracker.note_store(store(60, 16, gseq=1), retire=5.0)
+    tracker.line_persisted(0, 10.0, 12.0, source=SOURCE_CLWB)
+    tracker.line_persisted(1, 10.0, 14.0, source=SOURCE_WRITEBACK)
+    assert tracker.records[0].source == SOURCE_WRITEBACK
+
+
+def test_frontier_sorted_by_visibility_order():
+    tracker = DurabilityTracker()
+    tracker.note_store(store(0x200, 8, gseq=9), retire=1.0)
+    tracker.note_store(store(0x100, 8, gseq=2), retire=2.0)
+    tracker.line_persisted(0x200 // 64, 5.0, 6.0)
+    tracker.line_persisted(0x100 // 64, 5.0, 7.0)
+    assert [r.op.gseq for r in tracker.frontier(10.0)] == [2, 9]
+
+
+def test_null_durability_is_inert():
+    assert NULL_DURABILITY.enabled is False
+    NULL_DURABILITY.note_store(store(0, 8, gseq=0), retire=0.0)
+    NULL_DURABILITY.line_persisted(0, 0.0, 0.0)
+    assert not hasattr(NULL_DURABILITY, "records")

@@ -1,0 +1,61 @@
+"""Fault-plan and schedule determinism tests."""
+
+import pytest
+
+from repro.chaos import CrashSchedule, CrashTrigger, FaultPlan, sample_schedules
+
+
+def test_sample_schedules_deterministic():
+    a = sample_schedules(20, seed=42)
+    b = sample_schedules(20, seed=42)
+    assert a == b
+    assert sample_schedules(20, seed=43) != a
+
+
+def test_sample_schedules_alternate_trigger_kinds():
+    schedules = sample_schedules(10, seed=1)
+    assert [s.kind for s in schedules] == ["cycle", "ops"] * 5
+
+
+def test_sample_schedules_fractions_span_run():
+    schedules = sample_schedules(100, seed=9)
+    assert all(0.05 <= s.frac <= 0.95 for s in schedules)
+    # Per-schedule fault seeds must differ (independent injections).
+    assert len({s.seed for s in schedules}) > 90
+
+
+def test_concretise_cycle_schedule():
+    sched = CrashSchedule(kind="cycle", frac=0.5, seed=3)
+    plan = sched.concretise(horizon=10_000.0, total_ops=500)
+    assert plan.trigger == CrashTrigger("cycle", 5000.0)
+    assert plan.seed == 3
+
+
+def test_concretise_ops_schedule():
+    sched = CrashSchedule(kind="ops", frac=0.25, seed=3)
+    plan = sched.concretise(horizon=10_000.0, total_ops=500)
+    assert plan.trigger == CrashTrigger("ops", 125)
+
+
+def test_concretise_never_zero():
+    assert CrashSchedule("cycle", 0.05, 0).concretise(1.0, 1).trigger.at >= 1
+    assert CrashSchedule("ops", 0.05, 0).concretise(1.0, 1).trigger.at >= 1
+
+
+def test_fault_plan_describe_echoes_replay_inputs():
+    plan = FaultPlan(trigger=CrashTrigger("cycle", 1234.5), seed=99)
+    desc = plan.describe()
+    assert "cycle=1234.5" in desc
+    assert "seed=99" in desc
+    assert "writeback-faults" in desc
+    assert "drop-faults" in desc
+    assert "torn" not in desc
+    torn = FaultPlan(trigger=CrashTrigger("ops", 7), seed=0, torn=True)
+    assert "torn-writes" in torn.describe()
+
+
+def test_trigger_validation():
+    with pytest.raises(ValueError):
+        CrashTrigger("instructions", 5)
+    with pytest.raises(ValueError):
+        CrashTrigger("cycle", -1)

@@ -1,0 +1,31 @@
+"""Deadlock reports must be diagnosable without a debugger."""
+
+import pytest
+
+from repro.core.ops import Op, OpKind, Program
+from repro.sim.machine import Machine, SimulationDeadlock
+
+
+def test_deadlock_message_names_every_parked_core():
+    # Two threads both queue behind lock 0, whose recorded acquisition
+    # order names a thread that never runs — so both park forever.
+    program = Program(2)
+    for tid in (0, 1):
+        program.emit(tid, Op(OpKind.COMPUTE, cycles=10))
+        program.emit(tid, Op(OpKind.LOCK_ACQ, lock_id=0))
+        program.emit(tid, Op(OpKind.STORE, addr=0x100, size=8, data=b"\x01" * 8))
+        program.emit(tid, Op(OpKind.LOCK_REL, lock_id=0))
+    program.lock_order[0] = [5]  # a tid that does not exist
+
+    with pytest.raises(SimulationDeadlock) as excinfo:
+        Machine("strandweaver").run(program)
+    msg = str(excinfo.value)
+    assert "[strandweaver]" in msg
+    # Per-core blocked state: op index, the op itself, local clock, and
+    # the blocking resource with the thread it is waiting for.
+    assert "core 0: op 1/4" in msg
+    assert "core 1: op 1/4" in msg
+    assert "LOCK_ACQ(lock=0)" in msg
+    assert "local clock" in msg
+    assert "waiting on lock 0" in msg
+    assert "next holder by recorded order: core 5" in msg
