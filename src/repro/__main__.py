@@ -6,6 +6,7 @@ Usage::
     python -m repro trace <workload> --design <d> [--model m] [--out trace.json]
     python -m repro bench [--ops N] [--out BENCH_trace.json]
     python -m repro crashtest <workload> --design <d> --crashes N [--seed S] [--json]
+    python -m repro lint <workload> [--design <d>|all] [--model m] [--json]
 
 ``trace`` replays one (workload, design, model) cell with the tracer on
 and writes a Chrome/Perfetto trace-event JSON (open it in
@@ -14,7 +15,12 @@ document.  ``bench`` runs every (benchmark, design) cell and writes a
 deterministic summary the harness can diff across PRs.  ``crashtest``
 crashes the simulator at N seeded fault points, recovers each crash
 image and checks the workload's invariants — ``--design all`` runs the
-differential oracle over every hardware design.
+differential oracle over every hardware design.  ``lint`` statically
+analyses the compiled trace for persistency bugs (unflushed persists,
+strand misuse, persistent races, over-serialization, torn writes)
+without running the simulator — ``--design all`` lints every hardware
+design and additionally fails if the deliberately broken NON-ATOMIC
+design produces *no* errors (the linter must keep its teeth).
 """
 
 import argparse
@@ -41,7 +47,7 @@ ARTEFACTS = {
     "models": lambda ops: model_sensitivity(ops_per_thread=ops),
 }
 
-COMMANDS = sorted(ARTEFACTS) + ["all", "trace", "bench", "crashtest"]
+COMMANDS = sorted(ARTEFACTS) + ["all", "trace", "bench", "crashtest", "lint"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -211,6 +217,57 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LINT_SCHEMA, analyze
+    from repro.harness.experiment import default_config
+    from repro.sim.machine import DESIGNS
+    from repro.workloads import WORKLOADS, generate_for_design
+
+    if args.workload is None:
+        print("lint requires a workload, e.g.: python -m repro lint queue",
+              file=sys.stderr)
+        return 2
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; choose from {sorted(WORKLOADS)}",
+              file=sys.stderr)
+        return 2
+    if args.design != "all" and args.design not in DESIGNS:
+        print(f"unknown design {args.design!r}; choose from "
+              f"{sorted(DESIGNS) + ['all']}", file=sys.stderr)
+        return 2
+    designs = sorted(DESIGNS) if args.design == "all" else [args.design]
+    cfg = default_config(args.ops)
+    reports = {}
+    for design in designs:
+        run = generate_for_design(WORKLOADS[args.workload], cfg, design, args.model)
+        reports[design] = analyze(run.program, design=design)
+    # Exit-code policy: ERROR findings on a correct design fail the lint;
+    # the NON-ATOMIC design is *supposed* to error (it is the paper's
+    # deliberately unsafe upper bound), so there a silent pass is the bug.
+    ok = all(
+        (not r.errors) if d != "non-atomic" else bool(r.errors)
+        for d, r in reports.items()
+    )
+    if args.json:
+        doc = {
+            "schema": LINT_SCHEMA,
+            "workload": args.workload,
+            "model": args.model,
+            "ok": ok,
+            "designs": {d: r.to_json() for d, r in reports.items()},
+        }
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        for design, report in reports.items():
+            print(report.render())
+            if design == "non-atomic" and report.errors:
+                print("  (expected: NON-ATOMIC provides no ordering; the "
+                      "differential crash oracle reproduces these)")
+            print()
+        print("lint OK" if ok else "lint FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import write_bench_summary
 
@@ -233,6 +290,8 @@ def main(argv=None) -> int:
         return _cmd_bench(args)
     if args.artefact == "crashtest":
         return _cmd_crashtest(args)
+    if args.artefact == "lint":
+        return _cmd_lint(args)
     names = sorted(ARTEFACTS) if args.artefact == "all" else [args.artefact]
     if args.json:
         docs = [ARTEFACTS[name](args.ops).to_json() for name in names]

@@ -1,0 +1,50 @@
+"""Static persist-order analysis for compiled StrandWeaver traces.
+
+``analyze(program, design)`` lints a compiled :class:`~repro.core.ops.Program`
+for crash-consistency bugs and over-serialization without running the
+timing simulator or enumerating crash cuts.  See
+:mod:`repro.analysis.checks` for the five diagnostic classes.
+"""
+
+from repro.analysis.checks import analyze
+from repro.analysis.diagnostics import (
+    ALL_CHECKS,
+    LINT_SCHEMA,
+    OVER_SERIALIZATION,
+    PERSIST_RACE,
+    STRAND_MISUSE,
+    TORN_WRITE,
+    UNFLUSHED,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from repro.analysis.litmus import LITMUS, LitmusCase
+from repro.analysis.semantics import (
+    SEMANTICS,
+    DesignSemantics,
+    EffectiveProgram,
+    effective_program,
+    semantics_for,
+)
+
+__all__ = [
+    "ALL_CHECKS",
+    "LINT_SCHEMA",
+    "LITMUS",
+    "OVER_SERIALIZATION",
+    "PERSIST_RACE",
+    "SEMANTICS",
+    "STRAND_MISUSE",
+    "TORN_WRITE",
+    "UNFLUSHED",
+    "AnalysisReport",
+    "DesignSemantics",
+    "Diagnostic",
+    "EffectiveProgram",
+    "LitmusCase",
+    "Severity",
+    "analyze",
+    "effective_program",
+    "semantics_for",
+]

@@ -1,0 +1,472 @@
+"""The five static checks of the persist-order analyzer.
+
+:func:`analyze` consumes a compiled :class:`~repro.core.ops.Program` —
+no timing simulation, no cut enumeration — and reports structured
+diagnostics.  Ordering obligations are decided by the formal strand
+persistency model: the trace is projected onto the primitives the target
+design honours (:mod:`repro.analysis.semantics`) and a
+:class:`~repro.core.model.PersistDag` is built over the projection, so
+"is this persist ordered before its commit marker?" is answered by
+Equations 1-4 rather than by pattern matching.
+
+Checks (diagnostic class in parentheses):
+
+1. **unflushed persist** (``unflushed-persist``) — a persistent STORE
+   with no durably-ordering path (CLWB + the design's barrier/drain
+   vocabulary) to its commit marker, or never written back at all.
+2. **strand misuse** (``strand-misuse``) — a ``NewStrand`` that discards
+   a persist barrier's ordering edge, a ``JoinStrand`` with nothing to
+   join, and barrier-free undo-log/update dependencies.
+3. **persistent data races** (``persist-race``) — a happens-before +
+   lockset detector over ``LOCK_ACQ``/``LOCK_REL`` for conflicting
+   same-cache-line persistent accesses across threads.
+4. **over-serialization lint** (``over-serialization``) — redundant
+   CLWBs, back-to-back fences, empty persist barriers; advisory only,
+   with an estimate of the wasted orderings (the paper's motivation).
+5. **torn-write hazard** (``torn-write``) — multi-cache-line stores with
+   no failure-atomic region guarding them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import (
+    OVER_SERIALIZATION,
+    PERSIST_RACE,
+    STRAND_MISUSE,
+    TORN_WRITE,
+    UNFLUSHED,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from repro.analysis.semantics import (
+    DesignSemantics,
+    EffectiveProgram,
+    effective_program,
+    semantics_for,
+)
+from repro.core.model import PersistDag
+from repro.core.ops import Op, OpKind, Program, lines_of
+from repro.lang.runtime import COMMIT_MARKER_LABEL
+
+#: undo-log entry label the runtime stamps on logged old values (Fig. 5).
+UNDO_LOG_LABEL = "log:store"
+#: in-place update label the runtime stamps on the paired store.
+UPDATE_LABEL = "update"
+
+
+def analyze(program: Program, design: str = "strandweaver") -> AnalysisReport:
+    """Statically lint ``program`` for persistency bugs on ``design``."""
+    sem = semantics_for(design)
+    eff = effective_program(program, sem)
+    dag = PersistDag(eff)
+    report = AnalysisReport(
+        design=design,
+        n_ops=sum(len(t) for t in program.threads),
+        n_stores=sum(
+            1 for t in program.threads for op in t.ops if op.kind is OpKind.STORE
+        ),
+    )
+    _check_unflushed(eff, dag, sem, report)
+    _check_strand_misuse(eff, dag, sem, report)
+    _check_persist_races(program, report)
+    _check_over_serialization(eff, sem, report)
+    _check_torn_writes(program, report)
+    return report.finalize()
+
+
+# ----------------------------------------------------------------------
+# check 1: unflushed / unordered persists
+# ----------------------------------------------------------------------
+
+
+def _check_unflushed(
+    eff: EffectiveProgram, dag: PersistDag, sem: DesignSemantics, report: AnalysisReport
+) -> None:
+    for tid in range(eff.n_threads):
+        ops = eff.thread_ops(tid)
+        stores = [op for op in ops if op.kind is OpKind.STORE]
+        if not stores:
+            continue
+        markers = [op for op in stores if op.label == COMMIT_MARKER_LABEL]
+        #: cache-line -> sorted seqs of CLWBs covering it on this thread.
+        clwb_seqs: Dict[int, List[int]] = {}
+        for op in ops:
+            if op.kind is OpKind.CLWB:
+                for line in lines_of(op.addr, op.size):
+                    clwb_seqs.setdefault(line, []).append(op.seq)
+        marker_ancestors: Dict[int, Set[int]] = {}
+        for m in markers:
+            node = dag.node_of.get((m.tid, m.seq))
+            if node is not None:
+                marker_ancestors[m.seq] = dag.downward_close([node])
+        for op in stores:
+            anchor = _next_marker(markers, op)
+            _check_flush_coverage(op, anchor, clwb_seqs, report)
+            if anchor is None:
+                continue
+            node = dag.node_of.get((op.tid, op.seq))
+            if node is None or node not in marker_ancestors.get(anchor.seq, set()):
+                vocab = (
+                    ", ".join(sorted(k.name for k in sem.barrier_kinds | sem.drain_kinds))
+                    or "none: this design provides no ordering primitives"
+                )
+                report.add(
+                    Diagnostic.at(
+                        op,
+                        UNFLUSHED,
+                        "no-path-to-marker",
+                        Severity.ERROR,
+                        f"persist has no ordering path to its commit marker "
+                        f"t{anchor.tid}:{anchor.seq} under {sem.design} "
+                        f"(ordering vocabulary: {vocab}); a crash can expose "
+                        f"the commit without this update",
+                    )
+                )
+
+
+def _next_marker(markers: Sequence[Op], op: Op) -> Optional[Op]:
+    """First commit marker strictly after ``op`` on its thread."""
+    for m in markers:
+        if m.seq > op.seq:
+            return m
+    return None
+
+
+def _check_flush_coverage(
+    op: Op,
+    anchor: Optional[Op],
+    clwb_seqs: Dict[int, List[int]],
+    report: AnalysisReport,
+) -> None:
+    limit = anchor.seq if anchor is not None else None
+    for line in lines_of(op.addr, op.size):
+        covered = any(
+            seq > op.seq and (limit is None or seq < limit)
+            for seq in clwb_seqs.get(line, ())
+        )
+        if not covered:
+            where = (
+                f"before its commit marker t{anchor.tid}:{anchor.seq}"
+                if anchor is not None
+                else "before the end of the program"
+            )
+            report.add(
+                Diagnostic.at(
+                    op,
+                    UNFLUSHED,
+                    "never-flushed",
+                    Severity.ERROR,
+                    f"store to line 0x{line * 64:x} is never written back "
+                    f"(no covering CLWB) {where}; the dirty line is lost on "
+                    f"power failure",
+                )
+            )
+            return
+
+
+# ----------------------------------------------------------------------
+# check 2: strand misuse
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _StrandScan:
+    """Per-thread scan state for the structural strand rules."""
+
+    strand_stores: int = 0  #: stores on the current strand instance
+    last_pb: Optional[Op] = None
+    stores_since_pb: int = 0
+    pb_pred_count: int = 0
+    ns_since_join: bool = False
+    stores_since_join: int = 0
+
+
+def _check_strand_misuse(
+    eff: EffectiveProgram, dag: PersistDag, sem: DesignSemantics, report: AnalysisReport
+) -> None:
+    for tid in range(eff.n_threads):
+        ops = eff.thread_ops(tid)
+        if sem.has_strands:
+            _scan_strand_structure(ops, report)
+        _check_unordered_pairs(ops, dag, sem, report)
+
+
+def _scan_strand_structure(ops: Sequence[Op], report: AnalysisReport) -> None:
+    st = _StrandScan()
+    for op in ops:
+        kind = op.kind
+        if kind is OpKind.STORE:
+            st.strand_stores += 1
+            st.stores_since_pb += 1
+            st.stores_since_join += 1
+        elif kind is OpKind.PERSIST_BARRIER:
+            st.last_pb = op
+            st.pb_pred_count = st.strand_stores
+            st.stores_since_pb = 0
+        elif kind is OpKind.NEW_STRAND:
+            if st.last_pb is not None and st.stores_since_pb == 0 and st.pb_pred_count:
+                report.add(
+                    Diagnostic.at(
+                        op,
+                        STRAND_MISUSE,
+                        "barrier-discarded",
+                        Severity.WARNING,
+                        f"NewStrand discards the ordering edge of the persist "
+                        f"barrier at t{st.last_pb.tid}:{st.last_pb.seq}: no "
+                        f"persist was issued between them, so later accesses "
+                        f"that depended on that barrier drain unordered",
+                    )
+                )
+            st.strand_stores = 0
+            st.last_pb = None
+            st.ns_since_join = True
+        elif kind is OpKind.JOIN_STRAND:
+            if not st.ns_since_join and st.stores_since_join == 0:
+                report.add(
+                    Diagnostic.at(
+                        op,
+                        STRAND_MISUSE,
+                        "join-nothing",
+                        Severity.WARNING,
+                        "JoinStrand with no open strand: no NewStrand and no "
+                        "persist since the previous join, so there is nothing "
+                        "to merge or drain",
+                    )
+                )
+            st.strand_stores = 0
+            st.last_pb = None
+            st.ns_since_join = False
+            st.stores_since_join = 0
+
+
+def _check_unordered_pairs(
+    ops: Sequence[Op], dag: PersistDag, sem: DesignSemantics, report: AnalysisReport
+) -> None:
+    """Undo-log entries must be PMO-before their in-place updates."""
+    pending: List[Op] = []
+    for op in ops:
+        if op.kind is not OpKind.STORE:
+            continue
+        if op.label == UNDO_LOG_LABEL:
+            pending.append(op)
+        elif op.label == UPDATE_LABEL and pending:
+            log = pending.pop()
+            if not dag.ordered_before_ops(log, op):
+                report.add(
+                    Diagnostic.at(
+                        op,
+                        STRAND_MISUSE,
+                        "unordered-pair",
+                        Severity.ERROR,
+                        f"in-place update is not ordered after its undo-log "
+                        f"entry t{log.tid}:{log.seq} under {sem.design}: a "
+                        f"crash between the two persists leaves the update "
+                        f"unrecoverable (Fig. 5 pair ordering)",
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# check 3: persistent data races
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Access:
+    op: Op
+    own_clock: int
+    lockset: frozenset
+
+
+def _check_persist_races(program: Program, report: AnalysisReport) -> None:
+    nt = program.n_threads
+    vc: List[List[int]] = [[0] * nt for _ in range(nt)]
+    lock_vc: Dict[int, List[int]] = {}
+    held: List[Set[int]] = [set() for _ in range(nt)]
+    by_line: Dict[int, List[_Access]] = {}
+    seen: Set[Tuple[int, int, int, str]] = set()
+
+    for op in program.all_ops():
+        t = op.tid
+        kind = op.kind
+        if kind is OpKind.LOCK_ACQ:
+            held[t].add(op.lock_id)
+            prev = lock_vc.get(op.lock_id)
+            if prev is not None:
+                vc[t] = [max(a, b) for a, b in zip(vc[t], prev)]
+        elif kind is OpKind.LOCK_REL:
+            held[t].discard(op.lock_id)
+            vc[t][t] += 1
+            lock_vc[op.lock_id] = list(vc[t])
+        elif kind in (OpKind.STORE, OpKind.LOAD):
+            vc[t][t] += 1
+            acc = _Access(op, vc[t][t], frozenset(held[t]))
+            for line in lines_of(op.addr, op.size):
+                for prev_acc in by_line.get(line, ()):
+                    _maybe_race(prev_acc, acc, vc, line, seen, report)
+                by_line.setdefault(line, []).append(acc)
+
+
+def _maybe_race(
+    prev: _Access,
+    cur: _Access,
+    vc: List[List[int]],
+    line: int,
+    seen: Set[Tuple[int, int, int, str]],
+    report: AnalysisReport,
+) -> None:
+    a, b = prev.op, cur.op
+    if a.tid == b.tid:
+        return
+    if a.kind is not OpKind.STORE and b.kind is not OpKind.STORE:
+        return
+    # happens-before: prev's release clock reached cur's thread?
+    if prev.own_clock <= vc[b.tid][a.tid]:
+        return
+    if prev.lockset & cur.lockset:
+        return
+    overlap = a.addr < b.addr + b.size and b.addr < a.addr + a.size
+    rule = "conflicting-access" if overlap else "false-sharing"
+    key = (line, min(a.tid, b.tid), max(a.tid, b.tid), rule)
+    if key in seen:
+        return
+    seen.add(key)
+    if overlap:
+        report.add(
+            Diagnostic.at(
+                b,
+                PERSIST_RACE,
+                rule,
+                Severity.ERROR,
+                f"unsynchronized conflicting persistent access with "
+                f"t{a.tid}:{a.seq} ({a.kind.name} 0x{a.addr:x}): no common "
+                f"lock and no happens-before edge orders the two, so the "
+                f"persist order of line 0x{line * 64:x} is undefined",
+            )
+        )
+    else:
+        report.add(
+            Diagnostic.at(
+                b,
+                PERSIST_RACE,
+                rule,
+                Severity.ADVICE,
+                f"persistent false sharing with t{a.tid}:{a.seq} on line "
+                f"0x{line * 64:x}: disjoint bytes, but unsynchronized "
+                f"same-line persists serialize on the media and couple the "
+                f"threads' persist ordering",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# check 4: over-serialization lint (advisory)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _SerialScan:
+    clean_lines: Set[int] = field(default_factory=set)
+    touched_lines: Set[int] = field(default_factory=set)
+    last_fence: Optional[Op] = None
+    persist_since_fence: bool = True
+    stores_since_barrier: int = 0
+
+
+def _check_over_serialization(
+    eff: EffectiveProgram, sem: DesignSemantics, report: AnalysisReport
+) -> None:
+    fence_kinds = sem.barrier_kinds | sem.drain_kinds
+    pure_barriers = sem.barrier_kinds - sem.drain_kinds
+    for tid in range(eff.n_threads):
+        st = _SerialScan()
+        for op in eff.thread_ops(tid):
+            kind = op.kind
+            if kind is OpKind.STORE:
+                for line in lines_of(op.addr, op.size):
+                    st.clean_lines.discard(line)
+                    st.touched_lines.add(line)
+                st.persist_since_fence = True
+                st.stores_since_barrier += 1
+            elif kind is OpKind.CLWB:
+                lines = lines_of(op.addr, op.size)
+                known = [ln for ln in lines if ln in st.touched_lines]
+                if known and all(ln in st.clean_lines for ln in known):
+                    report.add(
+                        Diagnostic.at(
+                            op,
+                            OVER_SERIALIZATION,
+                            "redundant-flush",
+                            Severity.ADVICE,
+                            f"CLWB of line 0x{lines[0] * 64:x} is redundant: "
+                            f"the line was already written back and not "
+                            f"re-dirtied since",
+                            estimated_waste=1,
+                        )
+                    )
+                st.clean_lines.update(lines)
+                st.touched_lines.update(lines)
+                st.persist_since_fence = True
+            elif kind in fence_kinds:
+                if st.last_fence is not None and not st.persist_since_fence:
+                    report.add(
+                        Diagnostic.at(
+                            op,
+                            OVER_SERIALIZATION,
+                            "back-to-back-fence",
+                            Severity.ADVICE,
+                            f"{kind.name} immediately follows the "
+                            f"{st.last_fence.kind.name} at "
+                            f"t{st.last_fence.tid}:{st.last_fence.seq} with no "
+                            f"persist between them: it orders nothing",
+                            estimated_waste=1,
+                        )
+                    )
+                if kind in pure_barriers and st.stores_since_barrier == 0:
+                    report.add(
+                        Diagnostic.at(
+                            op,
+                            OVER_SERIALIZATION,
+                            "empty-barrier",
+                            Severity.ADVICE,
+                            f"{kind.name} with no persist behind it on the "
+                            f"current strand: the barrier creates no ordering "
+                            f"edge",
+                            estimated_waste=1,
+                        )
+                    )
+                st.last_fence = op
+                st.persist_since_fence = False
+                st.stores_since_barrier = 0
+            elif kind is OpKind.NEW_STRAND:
+                st.stores_since_barrier = 0
+
+
+# ----------------------------------------------------------------------
+# check 5: torn-write hazards
+# ----------------------------------------------------------------------
+
+
+def _check_torn_writes(program: Program, report: AnalysisReport) -> None:
+    for trace in program.threads:
+        for op in trace.ops:
+            if op.kind is not OpKind.STORE:
+                continue
+            lines = lines_of(op.addr, op.size)
+            if len(lines) > 1 and op.region < 0:
+                report.add(
+                    Diagnostic.at(
+                        op,
+                        TORN_WRITE,
+                        "multi-line-store",
+                        Severity.WARNING,
+                        f"{op.size}-byte store spans {len(lines)} cache lines "
+                        f"outside any failure-atomic region: PM persists at "
+                        f"line granularity, so a crash between the line "
+                        f"persists tears the write",
+                    )
+                )

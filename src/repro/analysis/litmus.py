@@ -1,0 +1,379 @@
+"""Seeded litmus programs for the static analyzer.
+
+Each *buggy* case plants exactly one persistency bug and records the
+``(tid, seq)`` op the analyzer must anchor its diagnostic on; each
+*clean* twin fixes the bug with the minimal correct ordering and must
+lint without findings of the same class.  The corpus doubles as living
+documentation of what every diagnostic class means.
+
+The programs are hand-built micro-op traces (:class:`TraceCursor`), not
+runtime-generated ones, so each bug is isolated: a case triggers its own
+diagnostic class and nothing above ADVICE from any other class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analysis.diagnostics import (
+    OVER_SERIALIZATION,
+    PERSIST_RACE,
+    STRAND_MISUSE,
+    TORN_WRITE,
+    UNFLUSHED,
+    Severity,
+)
+from repro.core.ops import Program, TraceCursor
+from repro.lang.runtime import COMMIT_MARKER_LABEL
+
+#: disjoint, cache-line-aligned scratch addresses.
+DATA = 0x1000
+DATA2 = 0x1040
+MARKER = 0x2000
+LOG = 0x3000
+SHARED = 0x4000
+
+
+@dataclass(frozen=True)
+class LitmusCase:
+    """One litmus program plus the diagnostic it must (not) trigger."""
+
+    name: str
+    design: str
+    description: str
+    build: Callable[[], Program]
+    #: diagnostic class the analyzer must report, or None for clean twins.
+    expect: Optional[str] = None
+    expect_rule: str = ""
+    expect_severity: Optional[Severity] = None
+    #: ``(tid, seq)`` of the op the diagnostic must anchor on.
+    bug_site: Optional[Tuple[int, int]] = None
+
+
+def _single(build_thread: Callable[[TraceCursor], None]) -> Program:
+    prog = Program(1)
+    build_thread(TraceCursor(prog, 0))
+    return prog
+
+
+# ----------------------------------------------------------------------
+# 1. unflushed-persist
+# ----------------------------------------------------------------------
+
+
+def _unflushed_no_clwb() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(DATA, b"\x2a" * 8)  # bug: never written back
+        c.join_strand()
+        c.store(MARKER, b"\x01", label=COMMIT_MARKER_LABEL)
+        c.clwb(MARKER)
+
+    return _single(t0)
+
+
+def _unflushed_unordered_commit() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(DATA, b"\x2a" * 8)
+        c.clwb(DATA)
+        c.new_strand()  # bug: commit marker races the data persist
+        c.store(MARKER, b"\x01", label=COMMIT_MARKER_LABEL)
+        c.clwb(MARKER)
+
+    return _single(t0)
+
+
+def _unflushed_clean() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(DATA, b"\x2a" * 8)
+        c.clwb(DATA)
+        c.persist_barrier()  # data persists before the marker
+        c.store(MARKER, b"\x01", label=COMMIT_MARKER_LABEL)
+        c.clwb(MARKER)
+
+    return _single(t0)
+
+
+# ----------------------------------------------------------------------
+# 2. strand-misuse
+# ----------------------------------------------------------------------
+
+
+def _strand_discarded_barrier() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(DATA, b"\x01" * 8)
+        c.clwb(DATA)
+        c.persist_barrier()
+        c.new_strand()  # bug: clears the barrier before anything used it
+        c.store(DATA2, b"\x02" * 8)
+        c.clwb(DATA2)
+
+    return _single(t0)
+
+
+def _strand_join_nothing() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(DATA, b"\x01" * 8)
+        c.clwb(DATA)
+        c.join_strand()
+        c.join_strand()  # bug: nothing opened since the previous join
+
+    return _single(t0)
+
+
+def _strand_unordered_pair() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(LOG, b"\x0a" * 8, label="log:store")
+        c.clwb(LOG)
+        # bug: no persist barrier between the log entry and the update
+        c.store(DATA, b"\x0b" * 8, label="update")
+        c.clwb(DATA)
+
+    return _single(t0)
+
+
+def _strand_clean_pair() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(LOG, b"\x0a" * 8, label="log:store")
+        c.clwb(LOG)
+        c.persist_barrier()  # Fig. 5 pair ordering
+        c.store(DATA, b"\x0b" * 8, label="update")
+        c.clwb(DATA)
+        c.new_strand()
+
+    return _single(t0)
+
+
+# ----------------------------------------------------------------------
+# 3. persist-race
+# ----------------------------------------------------------------------
+
+
+def _race_unlocked() -> Program:
+    prog = Program(2)
+    for tid, byte in ((0, b"\xaa"), (1, b"\xbb")):
+        c = TraceCursor(prog, tid)
+        c.store(SHARED, byte * 8)  # bug: same line, no common lock
+        c.clwb(SHARED)
+    return prog
+
+
+def _race_locked_clean() -> Program:
+    prog = Program(2)
+    for tid, byte in ((0, b"\xaa"), (1, b"\xbb")):
+        c = TraceCursor(prog, tid)
+        c.lock(0)
+        c.store(SHARED, byte * 8)
+        c.clwb(SHARED)
+        c.unlock(0)
+    return prog
+
+
+# ----------------------------------------------------------------------
+# 4. over-serialization
+# ----------------------------------------------------------------------
+
+
+def _overser_double_clwb() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(DATA, b"\x01" * 8)
+        c.clwb(DATA)
+        c.clwb(DATA)  # lint: line is already clean
+
+    return _single(t0)
+
+
+def _overser_b2b_sfence() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(DATA, b"\x01" * 8)
+        c.clwb(DATA)
+        c.sfence()
+        c.sfence()  # lint: orders nothing
+
+    return _single(t0)
+
+
+def _overser_empty_pb() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.persist_barrier()  # lint: no persist behind it
+        c.store(DATA, b"\x01" * 8)
+        c.clwb(DATA)
+
+    return _single(t0)
+
+
+def _overser_clean() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(DATA, b"\x01" * 8)
+        c.clwb(DATA)
+        c.persist_barrier()
+        c.store(DATA2, b"\x02" * 8)
+        c.clwb(DATA2)
+
+    return _single(t0)
+
+
+# ----------------------------------------------------------------------
+# 5. torn-write
+# ----------------------------------------------------------------------
+
+
+def _torn_store() -> Program:
+    def t0(c: TraceCursor) -> None:
+        # 128B store spanning two lines, outside any failure-atomic region.
+        c.store(DATA, b"\x5a" * 128, on_line_cross="allow")
+        c.clwb(DATA)
+        c.clwb(DATA + 64)
+
+    return _single(t0)
+
+
+def _torn_guarded_clean() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.region = 7  # inside a failure-atomic region: logging covers it
+        c.store(DATA, b"\x5a" * 128, on_line_cross="allow")
+        c.clwb(DATA)
+        c.clwb(DATA + 64)
+        c.region = -1
+
+    return _single(t0)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_CASES = (
+    LitmusCase(
+        name="unflushed-no-clwb",
+        design="strandweaver",
+        description="data store is never written back before its commit marker",
+        build=_unflushed_no_clwb,
+        expect=UNFLUSHED,
+        expect_rule="never-flushed",
+        expect_severity=Severity.ERROR,
+        bug_site=(0, 0),
+    ),
+    LitmusCase(
+        name="unflushed-unordered-commit",
+        design="strandweaver",
+        description="NewStrand lets the commit marker race the data persist",
+        build=_unflushed_unordered_commit,
+        expect=UNFLUSHED,
+        expect_rule="no-path-to-marker",
+        expect_severity=Severity.ERROR,
+        bug_site=(0, 0),
+    ),
+    LitmusCase(
+        name="unflushed-clean",
+        design="strandweaver",
+        description="data flushed and barrier-ordered before the marker",
+        build=_unflushed_clean,
+    ),
+    LitmusCase(
+        name="strand-discarded-barrier",
+        design="strandweaver",
+        description="NewStrand immediately after a persist barrier",
+        build=_strand_discarded_barrier,
+        expect=STRAND_MISUSE,
+        expect_rule="barrier-discarded",
+        expect_severity=Severity.WARNING,
+        bug_site=(0, 3),
+    ),
+    LitmusCase(
+        name="strand-join-nothing",
+        design="strandweaver",
+        description="JoinStrand with no open strand to merge",
+        build=_strand_join_nothing,
+        expect=STRAND_MISUSE,
+        expect_rule="join-nothing",
+        expect_severity=Severity.WARNING,
+        bug_site=(0, 3),
+    ),
+    LitmusCase(
+        name="strand-unordered-pair",
+        design="strandweaver",
+        description="undo-log entry and in-place update with no barrier",
+        build=_strand_unordered_pair,
+        expect=STRAND_MISUSE,
+        expect_rule="unordered-pair",
+        expect_severity=Severity.ERROR,
+        bug_site=(0, 2),
+    ),
+    LitmusCase(
+        name="strand-clean-pair",
+        design="strandweaver",
+        description="Fig. 5 log/update pair with the required barrier",
+        build=_strand_clean_pair,
+    ),
+    LitmusCase(
+        name="race-unlocked",
+        design="strandweaver",
+        description="two threads persist the same line with no common lock",
+        build=_race_unlocked,
+        expect=PERSIST_RACE,
+        expect_rule="conflicting-access",
+        expect_severity=Severity.ERROR,
+        bug_site=(1, 0),
+    ),
+    LitmusCase(
+        name="race-locked-clean",
+        design="strandweaver",
+        description="same access pattern, serialized by a shared lock",
+        build=_race_locked_clean,
+    ),
+    LitmusCase(
+        name="overser-double-clwb",
+        design="strandweaver",
+        description="flushing a line that is already clean",
+        build=_overser_double_clwb,
+        expect=OVER_SERIALIZATION,
+        expect_rule="redundant-flush",
+        expect_severity=Severity.ADVICE,
+        bug_site=(0, 2),
+    ),
+    LitmusCase(
+        name="overser-b2b-sfence",
+        design="intel-x86",
+        description="back-to-back SFENCEs with nothing between them",
+        build=_overser_b2b_sfence,
+        expect=OVER_SERIALIZATION,
+        expect_rule="back-to-back-fence",
+        expect_severity=Severity.ADVICE,
+        bug_site=(0, 3),
+    ),
+    LitmusCase(
+        name="overser-empty-pb",
+        design="strandweaver",
+        description="persist barrier with no persist behind it",
+        build=_overser_empty_pb,
+        expect=OVER_SERIALIZATION,
+        expect_rule="empty-barrier",
+        expect_severity=Severity.ADVICE,
+        bug_site=(0, 0),
+    ),
+    LitmusCase(
+        name="overser-clean",
+        design="strandweaver",
+        description="every flush and barrier does useful work",
+        build=_overser_clean,
+    ),
+    LitmusCase(
+        name="torn-store",
+        design="strandweaver",
+        description="two-line store outside any failure-atomic region",
+        build=_torn_store,
+        expect=TORN_WRITE,
+        expect_rule="multi-line-store",
+        expect_severity=Severity.WARNING,
+        bug_site=(0, 0),
+    ),
+    LitmusCase(
+        name="torn-guarded-clean",
+        design="strandweaver",
+        description="same store, guarded by a failure-atomic region",
+        build=_torn_guarded_clean,
+    ),
+)
+
+LITMUS: Dict[str, LitmusCase] = {case.name: case for case in _CASES}

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis import analyze
 from repro.chaos.image import ImageInfo, build_crash_image
 from repro.chaos.plan import (
     DEFAULT_DROP_PROB,
@@ -96,6 +97,10 @@ class CrashHarness:
             WORKLOADS[workload], self.cfg, design, "txn", durable_commit=True
         )
         self.dag = PersistDag(self.run.program)
+        # Static pre-flight: the linter's ERROR findings and the
+        # differential oracle must agree — a correct design lints clean
+        # and recovers; NON-ATOMIC lints dirty and violates invariants.
+        self.lint = analyze(self.run.program, design=design)
         baseline = Machine(design, machine_cfg).run(self.run.program)
         #: clean-run cycle count: the horizon fractional schedules scale to.
         self.horizon = float(baseline.cycles)
@@ -150,6 +155,8 @@ class CrashTestResult:
     horizon: float
     total_ops: int
     samples: List[CrashSample] = field(default_factory=list)
+    #: ERROR-level findings of the static lint pre-flight over the cell.
+    lint_errors: int = 0
     #: minimal failing reproducer, when a failure was found and shrunk.
     shrunk: Optional["ShrinkResult"] = None
 
@@ -158,9 +165,24 @@ class CrashTestResult:
         return [s.violation for s in self.samples if s.violation]
 
     @property
+    def lint_consistent(self) -> bool:
+        """Static lint and dynamic oracle must agree on the design.
+
+        A correct design must lint without ERROR findings; NON-ATOMIC must
+        lint *with* them (its missing ordering is exactly what the
+        differential oracle then reproduces as invariant violations).
+        Torn-write stress is dynamic-only, so it does not change the
+        static expectation.
+        """
+        return (self.lint_errors > 0) == (self.design == "non-atomic")
+
+    @property
     def ok(self) -> bool:
         """Correct designs must never fail; NON-ATOMIC (and torn-write
-        stress runs) must fail at least once or the checker is blind."""
+        stress runs) must fail at least once or the checker is blind.
+        The static lint pre-flight must agree with the dynamic outcome."""
+        if not self.lint_consistent:
+            return False
         if self.expect_failures:
             return len(self.violations) > 0
         return not self.violations
@@ -179,6 +201,8 @@ class CrashTestResult:
             "crashes": len(self.samples),
             "violations": len(self.violations),
             "expect_failures": self.expect_failures,
+            "lint_errors": self.lint_errors,
+            "lint_consistent": self.lint_consistent,
             "ok": self.ok,
             "horizon_cycles": self.horizon,
             "recovered_ok": sum(1 for s in self.samples if s.ok),
@@ -199,6 +223,11 @@ class CrashTestResult:
         lines.append(
             f"  {'PASS' if self.ok else 'FAIL'} ({expectation}; horizon "
             f"{self.horizon:g} cycles, {self.total_ops} micro-ops)"
+        )
+        agree = "agrees" if self.lint_consistent else "DISAGREES"
+        lines.append(
+            f"  static lint: {self.lint_errors} error(s); {agree} with the "
+            f"dynamic oracle"
         )
         for msg in self.violations[:5]:
             lines.append(f"  - {msg}")
@@ -284,6 +313,7 @@ def run_crashtest(
         expect_failures=(design == "non-atomic") or torn,
         horizon=harness.horizon,
         total_ops=harness.total_ops,
+        lint_errors=len(harness.lint.errors),
     )
     for i, schedule in enumerate(schedules):
         result.samples.append(harness.crash_schedule(schedule, index=i))

@@ -18,10 +18,9 @@ exactly as the hardware model allows.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Set, Tuple
 
 from repro.core.model import PersistDag
-from repro.core.ops import Op
 from repro.pmem.space import PersistentMemory
 
 

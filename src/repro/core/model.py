@@ -143,6 +143,10 @@ class PersistDag:
     def __init__(self, program: Program) -> None:
         self.program = program
         self.nodes: List[PersistNode] = []
+        #: ``(tid, seq)`` of each store op -> its node index, so consumers
+        #: holding an :class:`~repro.core.ops.Op` (e.g. the static
+        #: analyzer) can locate its DAG node without a linear scan.
+        self.node_of: Dict[Tuple[int, int], int] = {}
         self._build()
 
     # -- construction ------------------------------------------------------
@@ -150,6 +154,8 @@ class PersistDag:
     def _new_node(self, kind: str, op: Optional[Op], tid: int, **labels) -> PersistNode:
         node = PersistNode(len(self.nodes), kind, op, tid, **labels)
         self.nodes.append(node)
+        if kind == "store" and op is not None:
+            self.node_of[(op.tid, op.seq)] = node.idx
         return node
 
     def _build(self) -> None:
@@ -255,6 +261,22 @@ class PersistDag:
 
     def predecessors(self, idx: int) -> List[int]:
         return self.nodes[idx].preds
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All direct-predecessor edges as ``(pred, succ)`` pairs."""
+        return [(p, n.idx) for n in self.nodes for p in n.preds]
+
+    def node_for_op(self, op: Op) -> Optional[PersistNode]:
+        """The store node of ``op``, or ``None`` for non-store ops."""
+        idx = self.node_of.get((op.tid, op.seq))
+        return None if idx is None else self.nodes[idx]
+
+    def ordered_before_ops(self, a: Op, b: Op) -> bool:
+        """True when store ``a`` is PMO-before store ``b`` (Eqs. 1-4)."""
+        na, nb = self.node_of.get((a.tid, a.seq)), self.node_of.get((b.tid, b.seq))
+        if na is None or nb is None:
+            return False
+        return self.ordered_before(na, nb)
 
     def ordered_before(self, a: int, b: int) -> bool:
         """True when node ``a`` is (transitively) PMO-before node ``b``."""

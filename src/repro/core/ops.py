@@ -37,11 +37,23 @@ replaying an arbitrary consistent cut of the persist DAG
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 CACHE_LINE = 64
+
+
+class LineCrossError(ValueError):
+    """A STORE payload silently straddles a cache-line boundary.
+
+    PM media persists at cache-line granularity, so a straddling store is
+    two independent persists: a crash between them tears the write.  The
+    high-level emission API (:meth:`TraceCursor.store`) refuses to create
+    one silently — callers either let it split the payload at line
+    boundaries or opt in explicitly (``on_line_cross="allow"``) to model
+    a torn-write hazard on purpose.
+    """
 
 
 class OpKind(IntEnum):
@@ -98,6 +110,18 @@ def lines_of(addr: int, size: int) -> Tuple[int, ...]:
     first = addr // CACHE_LINE
     last = (addr + size - 1) // CACHE_LINE
     return tuple(range(first, last + 1))
+
+
+def split_at_lines(addr: int, data: bytes) -> List[Tuple[int, bytes]]:
+    """Split ``(addr, data)`` into per-cache-line ``(addr, chunk)`` pieces."""
+    pieces: List[Tuple[int, bytes]] = []
+    offset = 0
+    while offset < len(data):
+        cur = addr + offset
+        room = CACHE_LINE - (cur % CACHE_LINE)
+        pieces.append((cur, data[offset : offset + room]))
+        offset += room
+    return pieces
 
 
 @dataclass
@@ -245,7 +269,38 @@ class TraceCursor:
         op.region = self.region
         return self.program.emit(self.tid, op)
 
-    def store(self, addr: int, data: bytes, label: str = "") -> Op:
+    def store(
+        self, addr: int, data: bytes, label: str = "", on_line_cross: str = "split"
+    ) -> Op:
+        """Emit a PM store, validating cache-line atomicity.
+
+        A payload crossing a cache-line boundary is not a single persist.
+        ``on_line_cross`` selects what to do when that happens:
+
+        * ``"split"`` (default) — emit one STORE per touched line, so every
+          emitted op is persist-atomic; returns the first piece.
+        * ``"raise"`` — raise :class:`LineCrossError`.
+        * ``"allow"`` — emit the straddling store as-is (used to seed
+          torn-write hazards for the static analyzer and chaos tests).
+        """
+        pieces = split_at_lines(addr, data)
+        if len(pieces) > 1:
+            if on_line_cross == "raise":
+                raise LineCrossError(
+                    f"store of {len(data)} bytes at 0x{addr:x} spans "
+                    f"{len(pieces)} cache lines"
+                )
+            if on_line_cross == "split":
+                ops = [
+                    self._emit(Op(OpKind.STORE, addr=a, size=len(d), data=d, label=label))
+                    for a, d in pieces
+                ]
+                return ops[0]
+            if on_line_cross != "allow":
+                raise ValueError(
+                    f"on_line_cross must be 'split', 'raise' or 'allow', "
+                    f"not {on_line_cross!r}"
+                )
         return self._emit(Op(OpKind.STORE, addr=addr, size=len(data), data=data, label=label))
 
     def load(self, addr: int, size: int, label: str = "") -> Op:

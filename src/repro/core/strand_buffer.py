@@ -10,8 +10,7 @@ buffer index round-robin; entries retire from each buffer in order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.durability import NULL_DURABILITY

@@ -9,7 +9,7 @@ Results are memoised per process because several figures share runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.sim.config import MachineConfig, TABLE_I
 from repro.sim.machine import Machine

@@ -22,9 +22,9 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.harness.experiment import ALL_DESIGNS, ALL_MODELS, run_cell
 from repro.harness.report import render_table
-from repro.sim.config import TABLE_I, MachineConfig
+from repro.sim.config import TABLE_I
 from repro.sim.stats import geomean
-from repro.workloads import MICROBENCHMARKS, WORKLOADS
+from repro.workloads import MICROBENCHMARKS
 
 #: benchmark order of Table II / Figure 7.
 BENCH_ORDER = (

@@ -31,13 +31,18 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.ops import CACHE_LINE, Op, Program, TraceCursor, lines_of
 from repro.lang import logbuf
 from repro.lang.logbuf import LogError, LogLayout
-from repro.pmem.alloc import PmAllocator
 from repro.pmem.space import PersistentMemory
+
+#: label every runtime stamps on its commit-intent marker store.  The
+#: static analyzer (:mod:`repro.analysis`) keys on it: a commit marker is
+#: the durability anchor every earlier persist of the thread must have an
+#: ordering path to (Figure 6's crash-consistency obligation).
+COMMIT_MARKER_LABEL = "commit-marker"
 
 
 @dataclass
@@ -254,8 +259,14 @@ class PmRuntime:
         # 1. All in-place updates of the pending regions become durable.
         self.dialect.region_drain(cur)
         # 2. Set the commit-intent marker on the terminating log entry.
+        # The marker is tagged (label + region) so the static analyzer can
+        # anchor check 1 on it even for deferred commits, where the
+        # cursor's region id has already been reset.
         marker_addr = self.layout.entry_addr(tid, terminator) + 2
-        self._plain_store(tid, marker_addr, b"\x01", label="commit-marker")
+        marker = self._plain_store(
+            tid, marker_addr, b"\x01", label=COMMIT_MARKER_LABEL
+        )
+        marker.region = state.pending[-1].region_id
         # 3. Marker persists before the entries are invalidated and before
         # the head pointer advances.
         self.dialect.commit_barrier(cur)
@@ -306,13 +317,14 @@ class PmRuntime:
             state.region_slots.append(slot)
         return slot
 
-    def _plain_store(self, tid: int, addr: int, data: bytes, label: str = "") -> None:
+    def _plain_store(self, tid: int, addr: int, data: bytes, label: str = "") -> Op:
         """Unlogged PM store + CLWB of every touched line."""
         cur = self._threads[tid].cursor
         self.space.write(addr, data)
-        cur.store(addr, data, label=label)
+        op = cur.store(addr, data, label=label)
         for line in lines_of(addr, len(data)):
             cur.clwb(line * CACHE_LINE, label=label)
+        return op
 
 
 # ----------------------------------------------------------------------

@@ -18,7 +18,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List, Optional
 
-from repro.core.ops import Op, OpKind
+from repro.core.ops import Op
 from repro.obs.tracer import NULL_TRACER, Tracer, core_track
 from repro.sim.cache import CacheHierarchy
 from repro.sim.config import MachineConfig

@@ -10,7 +10,7 @@ crash states that break failure atomicity.
 
 from __future__ import annotations
 
-from repro.core.ops import Op, OpKind
+from repro.core.ops import Op
 from repro.persistency.base import OutstandingSet, PersistDomain
 
 

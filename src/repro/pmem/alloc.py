@@ -10,7 +10,7 @@ failure-atomic regions).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.pmem.space import PersistentMemory, PmError
 

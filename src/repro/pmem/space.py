@@ -13,7 +13,7 @@ used by the persistent data structures in :mod:`repro.workloads`.
 from __future__ import annotations
 
 import struct
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.core.ops import Op, OpKind
 

@@ -21,7 +21,7 @@ from repro.persistency.intel_x86 import IntelX86Domain
 from repro.persistency.nonatomic import NonAtomicDomain
 from repro.sim.cache import CacheHierarchy
 from repro.sim.config import MachineConfig, TABLE_I
-from repro.sim.cpu import Blocked, CoreEngine, LockTable
+from repro.sim.cpu import CoreEngine, LockTable
 from repro.sim.durability import CrashState, DurabilityTracker
 from repro.sim.engine import InOrderQueue
 from repro.sim.memory import DRAMController, PMController

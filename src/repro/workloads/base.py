@@ -17,8 +17,8 @@ from __future__ import annotations
 import random
 import zlib
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Type
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Type
 
 from repro.core.ops import Program
 from repro.lang.dialect import IsaDialect, dialect_for_design

@@ -17,7 +17,7 @@ crash; ``len(list) == pushes - pops`` detects broken region atomicity.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.lang.runtime import DirectAccessor, PmRuntime, RuntimeAccessor
 from repro.pmem.alloc import PmAllocator

@@ -22,7 +22,7 @@ conservation — initial stock == current stock + quantity on order lines.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.lang.runtime import DirectAccessor, PmRuntime, RuntimeAccessor
 from repro.pmem.alloc import PmAllocator

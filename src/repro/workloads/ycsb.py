@@ -7,7 +7,6 @@ across the key space, and a uniform generator for comparison.
 
 from __future__ import annotations
 
-import math
 import random
 
 FNV_OFFSET = 0xCBF29CE484222325

@@ -1,0 +1,47 @@
+"""Static lint x dynamic oracle cross-check.
+
+The linter's ERROR findings must be *reproducible*: on NON-ATOMIC-style
+designs the differential crash oracle has to turn at least one of them
+into a real invariant violation, and on correct designs a clean lint has
+to coincide with clean recovery.  ``CrashTestResult.ok`` folds this
+agreement in, so a disagreement fails the whole crashtest cell.
+"""
+
+from repro.analysis import STRAND_MISUSE, UNFLUSHED
+from repro.chaos import run_crashtest
+
+
+def test_non_atomic_lint_errors_confirmed_by_crash_oracle():
+    result = run_crashtest("queue", "non-atomic", crashes=8, seed=7, shrink=False)
+    # Static: the linter predicts crash-inconsistency...
+    assert result.lint_errors > 0
+    # ...dynamic: the differential oracle reproduces it end-to-end...
+    assert result.violations
+    # ...and the two agree, so the cell passes.
+    assert result.lint_consistent
+    assert result.ok
+
+
+def test_correct_design_lints_clean_and_recovers():
+    result = run_crashtest("queue", "strandweaver", crashes=8, seed=7, shrink=False)
+    assert result.lint_errors == 0
+    assert not result.violations
+    assert result.lint_consistent
+    assert result.ok
+
+
+def test_lint_error_classes_match_what_the_oracle_can_reproduce():
+    from repro.chaos.harness import CrashHarness
+
+    harness = CrashHarness("queue", "non-atomic")
+    classes = {d.check for d in harness.lint.errors}
+    assert classes <= {UNFLUSHED, STRAND_MISUSE}
+    assert classes
+
+
+def test_crashtest_summary_reports_lint_agreement():
+    result = run_crashtest("queue", "strandweaver", crashes=4, seed=7, shrink=False)
+    doc = result.summary()
+    assert doc["lint_errors"] == 0
+    assert doc["lint_consistent"] is True
+    assert "static lint: 0 error(s); agrees" in result.render()

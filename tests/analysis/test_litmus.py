@@ -1,0 +1,107 @@
+"""Litmus corpus: every seeded bug is found, every clean twin is quiet.
+
+The corpus (:mod:`repro.analysis.litmus`) plants exactly one bug per
+buggy case; the analyzer must report it with the right diagnostic class,
+rule, severity and ``(tid, seq)`` anchor — and must not report anything
+of WARNING severity or above from any *other* class.  Clean twins must
+produce no findings at all.
+"""
+
+import pytest
+
+from repro.analysis import LITMUS, Severity, analyze
+
+BUGGY = sorted(name for name, case in LITMUS.items() if case.expect)
+CLEAN = sorted(name for name, case in LITMUS.items() if not case.expect)
+
+
+def test_corpus_covers_every_diagnostic_class():
+    from repro.analysis import ALL_CHECKS
+
+    covered = {case.expect for case in LITMUS.values() if case.expect}
+    assert covered == set(ALL_CHECKS)
+
+
+def test_every_class_has_a_clean_twin():
+    # Clean twins exercise the same code shapes with the bug fixed.
+    assert len(CLEAN) >= 5
+
+
+@pytest.mark.parametrize("name", BUGGY)
+def test_buggy_case_reports_its_class_at_the_bug_site(name):
+    case = LITMUS[name]
+    report = analyze(case.build(), design=case.design)
+    hits = [
+        d
+        for d in report.diagnostics
+        if d.check == case.expect and d.rule == case.expect_rule
+    ]
+    assert hits, (
+        f"{name}: expected a {case.expect}/{case.expect_rule} finding, "
+        f"got {[(d.check, d.rule) for d in report.diagnostics]}"
+    )
+    assert len(hits) == 1, f"{name}: duplicate findings {hits}"
+    diag = hits[0]
+    assert (diag.tid, diag.seq) == case.bug_site
+    assert diag.severity is case.expect_severity
+    assert diag.gseq >= 0 and diag.op
+
+
+@pytest.mark.parametrize("name", BUGGY)
+def test_buggy_case_triggers_no_other_class(name):
+    # Advisories from other classes are tolerated (they are hints, and a
+    # deliberately broken program may legitimately also be wasteful);
+    # anything WARNING or above must come from the planted bug only.
+    case = LITMUS[name]
+    report = analyze(case.build(), design=case.design)
+    for diag in report.diagnostics:
+        if diag.severity >= Severity.WARNING:
+            assert diag.check == case.expect, (
+                f"{name}: unexpected {diag.check}/{diag.rule} "
+                f"({diag.severity.name}) at t{diag.tid}:{diag.seq}"
+            )
+
+
+@pytest.mark.parametrize("name", CLEAN)
+def test_clean_twin_is_quiet(name):
+    case = LITMUS[name]
+    report = analyze(case.build(), design=case.design)
+    assert report.clean, (
+        f"{name}: expected no findings, got "
+        f"{[(d.check, d.rule, d.severity.name) for d in report.diagnostics]}"
+    )
+
+
+def test_report_json_shape():
+    case = LITMUS["unflushed-no-clwb"]
+    doc = analyze(case.build(), design=case.design).to_json()
+    assert doc["schema"] == "repro.lint/1"
+    assert doc["design"] == "strandweaver"
+    assert doc["errors"] == 1 and doc["ok"] is False
+    finding = doc["findings"][0]
+    assert finding["check"] == "unflushed-persist"
+    assert finding["severity"] == "ERROR"
+    assert (finding["tid"], finding["seq"]) == (0, 0)
+
+
+def test_diagnostics_sorted_most_severe_first():
+    # A program with an ERROR and an ADVICE: order must be ERROR first.
+    from repro.core.ops import Program, TraceCursor
+
+    prog = Program(1)
+    c = TraceCursor(prog, 0)
+    c.store(0x1000, b"\x01" * 8, label="log:store")
+    c.clwb(0x1000)
+    c.store(0x1040, b"\x02" * 8, label="update")  # unordered pair: ERROR
+    c.clwb(0x1040)
+    c.clwb(0x1040)  # redundant flush: ADVICE
+    report = analyze(prog, design="strandweaver")
+    sevs = [d.severity for d in report.diagnostics]
+    assert sevs == sorted(sevs, reverse=True)
+    assert report.errors and report.advisories
+
+
+def test_unknown_design_rejected():
+    case = LITMUS["unflushed-clean"]
+    with pytest.raises(ValueError, match="unknown design"):
+        analyze(case.build(), design="tso")
