@@ -2,7 +2,8 @@
 
 Usage::
 
-    python -m repro [table1|table2|fig7|fig8|fig9|fig10|models|all] [--ops N] [--json]
+    python -m repro [table1|table2|fig7|fig8|fig9|fig10|models|all] [--ops N] [-j N] [--json]
+    python -m repro sweep [--workloads w1,w2|all] [--designs d1,d2|all] [-j N] [--json]
     python -m repro trace <workload> --design <d> [--model m] [--out trace.json]
     python -m repro bench [--ops N] [--out BENCH_trace.json]
     python -m repro crashtest <workload> --design <d> --crashes N [--seed S] [--json]
@@ -20,7 +21,12 @@ analyses the compiled trace for persistency bugs (unflushed persists,
 strand misuse, persistent races, over-serialization, torn writes)
 without running the simulator — ``--design all`` lints every hardware
 design and additionally fails if the deliberately broken NON-ATOMIC
-design produces *no* errors (the linter must keep its teeth).
+design produces *no* errors (the linter must keep its teeth).  ``sweep``
+evaluates an arbitrary (workload x design x model) matrix through the
+parallel sweep engine and emits the ``repro.sweep/1`` artefact; figures
+accept ``-j/--jobs`` to fan their cell lists over worker processes, and
+both reuse results across invocations via the content-addressed on-disk
+cache under ``.repro-cache/`` (disable with ``--no-cache``).
 """
 
 import argparse
@@ -38,16 +44,18 @@ from repro.harness import (
 )
 
 ARTEFACTS = {
-    "table1": lambda ops: table1(),
-    "table2": lambda ops: table2(ops_per_thread=ops),
-    "fig7": lambda ops: figure7(ops_per_thread=ops),
-    "fig8": lambda ops: figure8(ops_per_thread=ops),
-    "fig9": lambda ops: figure9(ops_per_thread=ops),
-    "fig10": lambda ops: figure10(ops_per_thread=ops),
-    "models": lambda ops: model_sensitivity(ops_per_thread=ops),
+    "table1": lambda ops, jobs, cache: table1(),
+    "table2": lambda ops, jobs, cache: table2(ops_per_thread=ops, jobs=jobs, cache=cache),
+    "fig7": lambda ops, jobs, cache: figure7(ops_per_thread=ops, jobs=jobs, cache=cache),
+    "fig8": lambda ops, jobs, cache: figure8(ops_per_thread=ops, jobs=jobs, cache=cache),
+    "fig9": lambda ops, jobs, cache: figure9(ops_per_thread=ops, jobs=jobs, cache=cache),
+    "fig10": lambda ops, jobs, cache: figure10(ops_per_thread=ops, jobs=jobs, cache=cache),
+    "models": lambda ops, jobs, cache: model_sensitivity(
+        ops_per_thread=ops, jobs=jobs, cache=cache
+    ),
 }
 
-COMMANDS = sorted(ARTEFACTS) + ["all", "trace", "bench", "crashtest", "lint"]
+COMMANDS = sorted(ARTEFACTS) + ["all", "sweep", "trace", "bench", "crashtest", "lint"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +80,36 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ops", type=int, default=16,
         help="operations per thread (default 16; the paper used ~6250)",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for figures and 'sweep' (default 1 = serial; "
+        "results are bit-identical at any -j)",
+    )
+    parser.add_argument(
+        "--workloads", default="all",
+        help="'sweep': comma-separated benchmarks, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--designs", default="all",
+        help="'sweep': comma-separated hardware designs, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--models", default="txn",
+        help="'sweep': comma-separated language models, or 'all' (default: txn)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for figures and 'sweep'",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default .repro-cache)",
+    )
+    parser.add_argument(
+        "--deterministic", action="store_true",
+        help="'sweep' --json: omit wall-clock and cache-provenance fields "
+        "so output is byte-identical across -j levels and cache states",
     )
     parser.add_argument(
         "--json", action="store_true",
@@ -268,6 +306,89 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _make_cache(args: argparse.Namespace):
+    from repro.harness.cachedir import DEFAULT_CACHE_DIR, CellCache
+
+    if args.no_cache:
+        return None
+    return CellCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+
+def _parse_matrix_axis(raw: str, universe, axis: str):
+    """Split a comma list, mapping 'all' to the full ordered universe."""
+    if raw == "all":
+        return list(universe), None
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    unknown = [name for name in names if name not in universe]
+    if not names:
+        return None, f"--{axis} must name at least one entry"
+    if unknown:
+        return None, (
+            f"unknown {axis} {unknown!r}; choose from {sorted(universe)} or 'all'"
+        )
+    return names, None
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import ALL_DESIGNS, ALL_MODELS
+    from repro.harness.figures import BENCH_ORDER
+    from repro.harness.report import render_table
+    from repro.harness.sweep import expand_cells, run_sweep
+    from repro.obs.export import sweep_to_json, write_sweep_json
+    from repro.workloads import WORKLOADS
+
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    bench_universe = tuple(BENCH_ORDER) + tuple(
+        name for name in sorted(WORKLOADS) if name not in BENCH_ORDER
+    )
+    workloads, err = _parse_matrix_axis(args.workloads, bench_universe, "workloads")
+    if err:
+        print(err, file=sys.stderr)
+        return 2
+    designs, err = _parse_matrix_axis(args.designs, ALL_DESIGNS, "designs")
+    if err:
+        print(err, file=sys.stderr)
+        return 2
+    models, err = _parse_matrix_axis(args.models, ALL_MODELS, "models")
+    if err:
+        print(err, file=sys.stderr)
+        return 2
+    cells = expand_cells(workloads, designs, models, ops_per_thread=args.ops)
+    result = run_sweep(cells, jobs=args.jobs, cache=_make_cache(args))
+    doc = sweep_to_json(result, deterministic=args.deterministic)
+    if args.out:
+        write_sweep_json(args.out, result, deterministic=args.deterministic)
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True, allow_nan=False))
+    else:
+        rows = []
+        for res in result.cells:
+            rows.append([
+                res.cell.benchmark,
+                res.cell.design,
+                res.cell.model,
+                res.stats.cycles if res.ok else "ERROR",
+                res.source,
+                f"{res.wall_time:.2f}s",
+            ])
+        print(render_table(
+            f"Sweep: {len(result.cells)} cells (-j {result.jobs})",
+            ["benchmark", "design", "model", "cycles", "source", "wall"],
+            rows,
+        ))
+        print(
+            f"wall {result.wall_time:.2f}s  cache {result.cache_hits} hit / "
+            f"{result.cache_misses} miss  memo {result.memo_hits} hit  "
+            f"errors {result.errors}"
+        )
+        for res in result.cells:
+            if not res.ok:
+                print(f"\nFAILED {res.cell.label()}:\n{res.error}")
+    return 0 if result.errors == 0 else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import write_bench_summary
 
@@ -292,13 +413,19 @@ def main(argv=None) -> int:
         return _cmd_crashtest(args)
     if args.artefact == "lint":
         return _cmd_lint(args)
+    if args.artefact == "sweep":
+        return _cmd_sweep(args)
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    cache = _make_cache(args)
     names = sorted(ARTEFACTS) if args.artefact == "all" else [args.artefact]
     if args.json:
-        docs = [ARTEFACTS[name](args.ops).to_json() for name in names]
-        print(json.dumps(docs[0] if len(docs) == 1 else docs, indent=1))
+        docs = [ARTEFACTS[name](args.ops, args.jobs, cache).to_json() for name in names]
+        print(json.dumps(docs[0] if len(docs) == 1 else docs, indent=1, allow_nan=False))
     else:
         for name in names:
-            print(ARTEFACTS[name](args.ops).render())
+            print(ARTEFACTS[name](args.ops, args.jobs, cache).render())
             print()
     return 0
 

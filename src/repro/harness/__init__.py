@@ -1,5 +1,6 @@
 """Experiment drivers regenerating the paper's tables and figures."""
 
+from repro.harness.cachedir import CACHE_SCHEMA, DEFAULT_CACHE_DIR, CellCache
 from repro.harness.experiment import ALL_DESIGNS, ALL_MODELS, run_cell, speedup
 from repro.harness.figures import (
     figure7,
@@ -10,16 +11,31 @@ from repro.harness.figures import (
     table1,
     table2,
 )
+from repro.harness.sweep import (
+    CellResult,
+    SweepCell,
+    SweepResult,
+    expand_cells,
+    run_sweep,
+)
 
 __all__ = [
     "ALL_DESIGNS",
     "ALL_MODELS",
+    "CACHE_SCHEMA",
+    "CellCache",
+    "CellResult",
+    "DEFAULT_CACHE_DIR",
+    "SweepCell",
+    "SweepResult",
+    "expand_cells",
     "figure7",
     "figure8",
     "figure9",
     "figure10",
     "model_sensitivity",
     "run_cell",
+    "run_sweep",
     "speedup",
     "table1",
     "table2",

@@ -1,0 +1,119 @@
+"""Content-addressed on-disk result cache for simulation cells.
+
+Each cached entry lives under ``.repro-cache/<k[:2]>/<k>.json`` where
+``k`` is the SHA-256 of the cell's *complete* canonical fingerprint:
+workload configuration, full machine configuration (every nested
+dataclass field, not a hand-picked subset), design, language model and
+the cache schema version.  The fingerprint is stored inside the entry
+and re-compared on every read, so even a hash collision (or a corrupted
+or hand-edited file) can never serve a foreign result — a lookup either
+returns stats whose identity matched field-for-field, or it is a miss.
+
+Entries are written atomically (temp file + ``os.replace``) so parallel
+sweep workers and concurrent sweeps can share one cache directory
+without torn reads.  A schema-version bump invalidates every existing
+entry implicitly: old fingerprints no longer match, old files are just
+ignored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.obs.export import machine_stats_from_doc, machine_stats_to_doc
+from repro.sim.config import MachineConfig
+from repro.sim.stats import MachineStats
+from repro.workloads import WorkloadConfig
+
+#: Bump whenever the timing model or the cached payload layout changes
+#: in a way that invalidates previously computed results.
+CACHE_SCHEMA = "repro.cell/1"
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def cell_fingerprint(
+    benchmark: str,
+    design: str,
+    model: str,
+    workload_cfg: WorkloadConfig,
+    machine_cfg: MachineConfig,
+) -> Dict[str, object]:
+    """Complete, canonical identity of one simulation cell."""
+    return {
+        "schema": CACHE_SCHEMA,
+        "benchmark": benchmark,
+        "design": design,
+        "model": model,
+        "workload": dataclasses.asdict(workload_cfg),
+        "machine": dataclasses.asdict(machine_cfg),
+    }
+
+
+def fingerprint_key(fingerprint: Dict[str, object]) -> str:
+    """SHA-256 of the canonical (sorted, compact) JSON fingerprint."""
+    blob = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CellCache:
+    """On-disk cache of :class:`MachineStats`, keyed by full fingerprint."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def lookup(self, fingerprint: Dict[str, object]) -> Optional[MachineStats]:
+        """Return the cached stats, or None on miss.
+
+        Stale schema versions, fingerprint mismatches (collisions,
+        poisoned entries) and unreadable files are all treated as plain
+        misses — the cell is recomputed, never served wrong.
+        """
+        path = self.path_for(fingerprint_key(fingerprint))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != CACHE_SCHEMA:
+            return None
+        if doc.get("fingerprint") != fingerprint:
+            return None
+        try:
+            return machine_stats_from_doc(doc["stats"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, fingerprint: Dict[str, object], stats: MachineStats) -> str:
+        """Atomically persist ``stats`` under the fingerprint's key."""
+        key = fingerprint_key(fingerprint)
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "fingerprint": fingerprint,
+            "stats": machine_stats_to_doc(stats),
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True, allow_nan=False)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path

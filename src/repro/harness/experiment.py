@@ -25,16 +25,32 @@ ALL_MODELS = ("txn", "atlas", "sfr")
 
 @dataclass(frozen=True)
 class RunKey:
+    """Complete identity of one simulation cell.
+
+    Embeds the *full* :class:`MachineConfig` (a frozen, hashable
+    dataclass tree).  A previous revision fingerprinted only the two
+    strand-buffer fields, so two configs differing in PM timing or core
+    parameters silently shared a memoised result.
+    """
+
     benchmark: str
     design: str
     model: str
     ops_per_thread: int
     ops_per_region: int
-    n_buffers: int
-    buffer_entries: int
+    machine_cfg: MachineConfig
 
 
 _CACHE: Dict[RunKey, MachineStats] = {}
+
+
+def memo_lookup(key: RunKey) -> Optional[MachineStats]:
+    """In-process memo probe (shared with :mod:`repro.harness.sweep`)."""
+    return _CACHE.get(key)
+
+
+def memo_store(key: RunKey, stats: MachineStats) -> None:
+    _CACHE[key] = stats
 
 
 def default_config(ops_per_thread: int = 48, ops_per_region: int = 1) -> WorkloadConfig:
@@ -65,15 +81,7 @@ def run_cell(
     if benchmark not in WORKLOADS:
         raise ValueError(f"unknown benchmark {benchmark!r}; choose from {sorted(WORKLOADS)}")
     cfg = machine_cfg or TABLE_I
-    key = RunKey(
-        benchmark,
-        design,
-        model,
-        ops_per_thread,
-        ops_per_region,
-        cfg.strand.n_strand_buffers,
-        cfg.strand.strand_buffer_entries,
-    )
+    key = RunKey(benchmark, design, model, ops_per_thread, ops_per_region, cfg)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached

@@ -9,19 +9,29 @@ Each function returns the figure's data and a printable rendering:
 * :func:`figure9` — strand-buffer configuration sensitivity (Figure 9)
 * :func:`figure10` — speedup vs operations per SFR (Figure 10)
 
+Every figure first *declares* its full cell list — the (benchmark,
+design, model, knobs, machine config) tuples it needs — then hands the
+list to :func:`repro.harness.sweep.run_sweep` and renders from the
+returned results.  ``jobs=1`` (the default) evaluates cells inline and
+is bit-identical to the historical serial path; ``jobs=N`` fans the
+same cells out over N processes, and ``cache=CellCache()`` reuses
+results across invocations via the content-addressed on-disk cache.
+
 Absolute numbers differ from the paper (our substrate is a Python
 queue-level model, not gem5 + real Optane), but the comparisons the paper
-draws — who wins, roughly by how much, where the curves saturate — are
-preserved; see EXPERIMENTS.md for the side-by-side record.
+draws — who wins, roughly by how much, where the curves saturate —
+are preserved; see EXPERIMENTS.md for the side-by-side record.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.harness.experiment import ALL_DESIGNS, ALL_MODELS, run_cell
+from repro.harness.cachedir import CellCache
+from repro.harness.experiment import ALL_DESIGNS, ALL_MODELS
 from repro.harness.report import render_table
+from repro.harness.sweep import SweepCell, SweepResult, run_sweep
 from repro.sim.config import TABLE_I
 from repro.sim.stats import geomean
 from repro.workloads import MICROBENCHMARKS
@@ -77,7 +87,11 @@ def table1() -> FigureResult:
     return FigureResult("Table I: simulator specification", ["component", "value"], rows)
 
 
-def table2(ops_per_thread: int = 48) -> FigureResult:
+def table2(
+    ops_per_thread: int = 48,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+) -> FigureResult:
     """Table II: benchmark descriptions and CKC (CLWBs per 1000 cycles).
 
     CKC is measured on the NON-ATOMIC design, as in the paper.
@@ -92,24 +106,38 @@ def table2(ops_per_thread: int = 48) -> FigureResult:
         "nstore-bal": "50% read/50% write KV",
         "nstore-wr": "10% read/90% write KV",
     }
+    cells = [
+        SweepCell(bench, "non-atomic", "txn", ops_per_thread) for bench in BENCH_ORDER
+    ]
+    sweep = run_sweep(cells, jobs=jobs, cache=cache)
     rows = []
-    for bench in BENCH_ORDER:
-        stats = run_cell(bench, "non-atomic", "txn", ops_per_thread=ops_per_thread)
+    for bench, cell in zip(BENCH_ORDER, cells):
+        stats = sweep.stats_for(cell)
         rows.append([bench, descriptions[bench], round(stats.ckc, 2)])
     return FigureResult("Table II: benchmarks and CKC", ["benchmark", "description", "CKC"], rows)
 
 
 def figure7(
-    model: str = "txn", ops_per_thread: int = 48, designs: Sequence[str] = ALL_DESIGNS
+    model: str = "txn",
+    ops_per_thread: int = 48,
+    designs: Sequence[str] = ALL_DESIGNS,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
 ) -> FigureResult:
     """Figure 7: speedup over the Intel x86 design, per benchmark."""
+    cells = [
+        SweepCell(bench, design, model, ops_per_thread)
+        for bench in BENCH_ORDER
+        for design in tuple(designs) + ("intel-x86",)
+    ]
+    sweep = run_sweep(cells, jobs=jobs, cache=cache)
     rows = []
     per_design: Dict[str, List[float]] = {d: [] for d in designs}
     for bench in BENCH_ORDER:
+        base = sweep.stats_for(SweepCell(bench, "intel-x86", model, ops_per_thread))
         row: List[object] = [bench]
         for design in designs:
-            sp = run_cell(bench, design, model, ops_per_thread=ops_per_thread)
-            base = run_cell(bench, "intel-x86", model, ops_per_thread=ops_per_thread)
+            sp = sweep.stats_for(SweepCell(bench, design, model, ops_per_thread))
             value = sp.speedup_over(base)
             per_design[design].append(value)
             row.append(value)
@@ -128,16 +156,27 @@ def figure7(
     )
 
 
-def figure8(model: str = "txn", ops_per_thread: int = 48) -> FigureResult:
+def figure8(
+    model: str = "txn",
+    ops_per_thread: int = 48,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+) -> FigureResult:
     """Figure 8: persist-ordering CPU stalls, normalised to Intel x86."""
     designs = [d for d in ALL_DESIGNS if d != "non-atomic"]
+    cells = [
+        SweepCell(bench, design, model, ops_per_thread)
+        for bench in BENCH_ORDER
+        for design in designs
+    ]
+    sweep = run_sweep(cells, jobs=jobs, cache=cache)
     rows = []
     per_design: Dict[str, List[float]] = {d: [] for d in designs}
     for bench in BENCH_ORDER:
-        base = run_cell(bench, "intel-x86", model, ops_per_thread=ops_per_thread)
+        base = sweep.stats_for(SweepCell(bench, "intel-x86", model, ops_per_thread))
         row: List[object] = [bench]
         for design in designs:
-            st = run_cell(bench, design, model, ops_per_thread=ops_per_thread)
+            st = sweep.stats_for(SweepCell(bench, design, model, ops_per_thread))
             ratio = st.stall_ratio_vs(base)
             per_design[design].append(ratio)
             row.append(ratio)
@@ -159,22 +198,36 @@ def figure8(model: str = "txn", ops_per_thread: int = 48) -> FigureResult:
     )
 
 
-def figure9(ops_per_thread: int = 48) -> FigureResult:
+def figure9(
+    ops_per_thread: int = 48,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+) -> FigureResult:
     """Figure 9: sensitivity to (strand buffers, entries per buffer).
 
     As in the paper, shown for the SFR implementation, as geomean speedup
     over the Intel x86 baseline across the microbenchmarks.
     """
+    configs = {
+        (n_buffers, entries): TABLE_I.with_strand(n_buffers, entries)
+        for n_buffers, entries in FIG9_CONFIGS
+    }
+    cells = [
+        SweepCell(bench, "intel-x86", "sfr", ops_per_thread) for bench in MICROBENCHMARKS
+    ] + [
+        SweepCell(bench, "strandweaver", "sfr", ops_per_thread, machine_cfg=cfg)
+        for cfg in configs.values()
+        for bench in MICROBENCHMARKS
+    ]
+    sweep = run_sweep(cells, jobs=jobs, cache=cache)
     rows = []
     speedups: List[Tuple[str, float]] = []
-    for n_buffers, entries in FIG9_CONFIGS:
-        cfg = TABLE_I.with_strand(n_buffers, entries)
+    for (n_buffers, entries), cfg in configs.items():
         values = []
         for bench in MICROBENCHMARKS:
-            base = run_cell(bench, "intel-x86", "sfr", ops_per_thread=ops_per_thread)
-            st = run_cell(
-                bench, "strandweaver", "sfr",
-                ops_per_thread=ops_per_thread, machine_cfg=cfg,
+            base = sweep.stats_for(SweepCell(bench, "intel-x86", "sfr", ops_per_thread))
+            st = sweep.stats_for(
+                SweepCell(bench, "strandweaver", "sfr", ops_per_thread, machine_cfg=cfg)
             )
             values.append(st.speedup_over(base))
         label = f"({n_buffers},{entries})"
@@ -190,19 +243,26 @@ def figure9(ops_per_thread: int = 48) -> FigureResult:
     )
 
 
-def figure10(ops_per_thread: int = 48) -> FigureResult:
+def figure10(
+    ops_per_thread: int = 48,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+) -> FigureResult:
     """Figure 10: speedup over x86 vs operations per failure-atomic SFR."""
+    cells = [
+        SweepCell(bench, design, "sfr", ops_per_thread, opr)
+        for bench in MICROBENCHMARKS
+        for opr in FIG10_OPS_PER_REGION
+        for design in ("intel-x86", "strandweaver")
+    ]
+    sweep = run_sweep(cells, jobs=jobs, cache=cache)
     rows = []
     for bench in MICROBENCHMARKS:
         row: List[object] = [bench]
         for opr in FIG10_OPS_PER_REGION:
-            base = run_cell(
-                bench, "intel-x86", "sfr",
-                ops_per_thread=ops_per_thread, ops_per_region=opr,
-            )
-            st = run_cell(
-                bench, "strandweaver", "sfr",
-                ops_per_thread=ops_per_thread, ops_per_region=opr,
+            base = sweep.stats_for(SweepCell(bench, "intel-x86", "sfr", ops_per_thread, opr))
+            st = sweep.stats_for(
+                SweepCell(bench, "strandweaver", "sfr", ops_per_thread, opr)
             )
             row.append(st.speedup_over(base))
         rows.append(row)
@@ -218,15 +278,26 @@ def figure10(ops_per_thread: int = 48) -> FigureResult:
     )
 
 
-def model_sensitivity(ops_per_thread: int = 48) -> FigureResult:
+def model_sensitivity(
+    ops_per_thread: int = 48,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+) -> FigureResult:
     """Section VI-B: StrandWeaver speedup per language-level model."""
+    cells = [
+        SweepCell(bench, design, model, ops_per_thread)
+        for model in ALL_MODELS
+        for bench in BENCH_ORDER
+        for design in ("intel-x86", "strandweaver")
+    ]
+    sweep = run_sweep(cells, jobs=jobs, cache=cache)
     rows = []
     summary = {}
     for model in ALL_MODELS:
         values = []
         for bench in BENCH_ORDER:
-            base = run_cell(bench, "intel-x86", model, ops_per_thread=ops_per_thread)
-            st = run_cell(bench, "strandweaver", model, ops_per_thread=ops_per_thread)
+            base = sweep.stats_for(SweepCell(bench, "intel-x86", model, ops_per_thread))
+            st = sweep.stats_for(SweepCell(bench, "strandweaver", model, ops_per_thread))
             values.append(st.speedup_over(base))
         mean = geomean(values)
         rows.append([model] + values + [mean])
@@ -237,3 +308,19 @@ def model_sensitivity(ops_per_thread: int = 48) -> FigureResult:
         rows,
         summary,
     )
+
+
+__all__ = [
+    "BENCH_ORDER",
+    "FIG9_CONFIGS",
+    "FIG10_OPS_PER_REGION",
+    "FigureResult",
+    "SweepResult",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "model_sensitivity",
+    "table1",
+    "table2",
+]

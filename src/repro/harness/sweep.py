@@ -1,0 +1,247 @@
+"""Parallel sweep engine: fan out simulation cells over a process pool.
+
+Like the paper's evaluation — 8 benchmarks x 5 designs x 3 language
+models plus the Figure 9/10 sweeps, each an independent gem5 run — our
+cells are embarrassingly parallel: one cell is one (benchmark, design,
+model, workload knobs, :class:`MachineConfig`) simulation with no shared
+state.  :func:`run_sweep` evaluates any iterable of fully-specified
+cells with
+
+* **deterministic ordering** — results come back in input order no
+  matter how the pool schedules them;
+* **per-cell error capture** — one failed cell reports its traceback,
+  the rest of the sweep completes;
+* **three-level caching** — the in-process memo (shared with
+  :func:`repro.harness.experiment.run_cell`), then the content-addressed
+  on-disk cache (:mod:`repro.harness.cachedir`), then a real run.
+  Identical cells appearing twice in one sweep are simulated once.
+
+``jobs <= 1`` runs every cell inline in this process (no pool, no
+pickling), which is the bit-identical reference path the parallel path
+is validated against.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.harness.cachedir import CellCache, cell_fingerprint, fingerprint_key
+from repro.harness.experiment import (
+    RunKey,
+    default_config,
+    memo_lookup,
+    memo_store,
+    run_cell,
+)
+from repro.sim.config import TABLE_I, MachineConfig
+from repro.sim.stats import MachineStats
+from repro.workloads import WorkloadConfig
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully-specified simulation: everything that affects its result."""
+
+    benchmark: str
+    design: str
+    model: str = "txn"
+    ops_per_thread: int = 48
+    ops_per_region: int = 1
+    machine_cfg: MachineConfig = TABLE_I
+
+    def workload_cfg(self) -> WorkloadConfig:
+        return default_config(self.ops_per_thread, self.ops_per_region)
+
+    def run_key(self) -> RunKey:
+        return RunKey(
+            self.benchmark,
+            self.design,
+            self.model,
+            self.ops_per_thread,
+            self.ops_per_region,
+            self.machine_cfg,
+        )
+
+    def fingerprint(self) -> Dict[str, object]:
+        return cell_fingerprint(
+            self.benchmark, self.design, self.model,
+            self.workload_cfg(), self.machine_cfg,
+        )
+
+    def key(self) -> str:
+        """Content-address of this cell (the on-disk cache key)."""
+        return fingerprint_key(self.fingerprint())
+
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.design}/{self.model}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: stats on success, a traceback on failure."""
+
+    cell: SweepCell
+    stats: Optional[MachineStats]
+    error: Optional[str] = None
+    wall_time: float = 0.0
+    #: where the result came from: ``memo`` | ``cache`` | ``run``.
+    source: str = "run"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.stats is not None
+
+
+@dataclass
+class SweepResult:
+    """All cell results, in input order, plus sweep-level accounting."""
+
+    cells: List[CellResult]
+    jobs: int = 1
+    wall_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    memo_hits: int = 0
+
+    def __post_init__(self) -> None:
+        self._by_cell: Dict[SweepCell, CellResult] = {
+            res.cell: res for res in self.cells
+        }
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for res in self.cells if not res.ok)
+
+    def result_for(self, cell: SweepCell) -> CellResult:
+        return self._by_cell[cell]
+
+    def stats_for(self, cell: SweepCell) -> MachineStats:
+        """Stats of ``cell``; raises if the cell failed or is absent."""
+        res = self._by_cell.get(cell)
+        if res is None:
+            raise KeyError(f"cell {cell.label()} was not part of this sweep")
+        if not res.ok:
+            raise RuntimeError(f"cell {cell.label()} failed:\n{res.error}")
+        assert res.stats is not None
+        return res.stats
+
+    def to_json(self, deterministic: bool = False) -> Dict[str, object]:
+        from repro.obs.export import sweep_to_json
+
+        return sweep_to_json(self, deterministic=deterministic)
+
+
+def expand_cells(
+    benchmarks: Sequence[str],
+    designs: Sequence[str],
+    models: Sequence[str] = ("txn",),
+    ops_per_thread: int = 48,
+    ops_per_region: int = 1,
+    machine_cfg: MachineConfig = TABLE_I,
+) -> List[SweepCell]:
+    """Cartesian (benchmark x design x model) cell list, in stable order."""
+    return [
+        SweepCell(bench, design, model, ops_per_thread, ops_per_region, machine_cfg)
+        for bench in benchmarks
+        for design in designs
+        for model in models
+    ]
+
+
+def _execute(cell: SweepCell) -> Tuple[str, object, float]:
+    """Run one cell; never raises.  Returns (status, payload, seconds)."""
+    t0 = time.perf_counter()
+    try:
+        stats = run_cell(
+            cell.benchmark,
+            cell.design,
+            cell.model,
+            ops_per_thread=cell.ops_per_thread,
+            ops_per_region=cell.ops_per_region,
+            machine_cfg=cell.machine_cfg,
+        )
+        return "ok", stats, time.perf_counter() - t0
+    except Exception:
+        return "error", traceback.format_exc(), time.perf_counter() - t0
+
+
+def run_sweep(
+    cells: Iterable[SweepCell],
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+    use_memo: bool = True,
+) -> SweepResult:
+    """Evaluate every cell, fanning misses out over ``jobs`` processes."""
+    cell_list = list(cells)
+    t0 = time.perf_counter()
+    results: List[Optional[CellResult]] = [None] * len(cell_list)
+    memo_hits = cache_hits = 0
+
+    # Resolve memo and disk hits in the parent; dedupe the remainder so
+    # identical cells are simulated once and fanned back out.
+    pending: Dict[SweepCell, List[int]] = {}
+    for idx, cell in enumerate(cell_list):
+        earlier = pending.get(cell)
+        if earlier is not None:
+            earlier.append(idx)
+            continue
+        if use_memo:
+            hit = memo_lookup(cell.run_key())
+            if hit is not None:
+                results[idx] = CellResult(cell, hit, source="memo")
+                memo_hits += 1
+                continue
+        if cache is not None:
+            t_cell = time.perf_counter()
+            disk = cache.lookup(cell.fingerprint())
+            if disk is not None:
+                results[idx] = CellResult(
+                    cell, disk, wall_time=time.perf_counter() - t_cell,
+                    source="cache",
+                )
+                cache_hits += 1
+                if use_memo:
+                    memo_store(cell.run_key(), disk)
+                continue
+        pending[cell] = [idx]
+    cache_misses = len(pending) if cache is not None else 0
+
+    unique = list(pending)
+    if jobs > 1 and len(unique) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(unique))) as pool:
+            futures = [(cell, pool.submit(_execute, cell)) for cell in unique]
+            outcomes = []
+            for cell, fut in futures:
+                try:
+                    outcomes.append((cell,) + fut.result())
+                except Exception:  # pool-level failure (e.g. dead worker)
+                    outcomes.append((cell, "error", traceback.format_exc(), 0.0))
+    else:
+        outcomes = [(cell,) + _execute(cell) for cell in unique]
+
+    for cell, status, payload, seconds in outcomes:
+        if status == "ok":
+            assert isinstance(payload, MachineStats)
+            res = CellResult(cell, payload, wall_time=seconds, source="run")
+            if use_memo:
+                memo_store(cell.run_key(), payload)
+            if cache is not None:
+                cache.store(cell.fingerprint(), payload)
+        else:
+            res = CellResult(cell, None, error=str(payload), wall_time=seconds)
+        for idx in pending[cell]:
+            results[idx] = res
+
+    assert all(res is not None for res in results)
+    return SweepResult(
+        cells=[res for res in results if res is not None],
+        jobs=jobs,
+        wall_time=time.perf_counter() - t0,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        memo_hits=memo_hits,
+    )

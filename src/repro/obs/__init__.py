@@ -12,10 +12,13 @@ See README.md ("Tracing & metrics") for the Perfetto walkthrough.
 from repro.obs.export import (
     BENCH_SCHEMA,
     STATS_SCHEMA,
+    SWEEP_SCHEMA,
     bench_summary,
     stats_to_json,
+    sweep_to_json,
     write_bench_summary,
     write_stats_json,
+    write_sweep_json,
 )
 from repro.obs.metrics import (
     Counter,
@@ -36,14 +39,17 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "STATS_SCHEMA",
+    "SWEEP_SCHEMA",
     "ScopedMetrics",
     "TraceEvent",
     "Tracer",
     "bench_summary",
     "core_track",
     "stats_to_json",
+    "sweep_to_json",
     "to_perfetto",
     "write_bench_summary",
     "write_stats_json",
+    "write_sweep_json",
     "write_trace",
 ]

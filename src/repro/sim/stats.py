@@ -123,9 +123,16 @@ class MachineStats:
         return baseline.cycles / self.cycles
 
     def stall_ratio_vs(self, baseline: "MachineStats") -> float:
-        """Persist-stall cycles normalised to ``baseline`` (Figure 8)."""
+        """Persist-stall cycles normalised to ``baseline`` (Figure 8).
+
+        When the baseline has no persist stalls the normalisation is
+        undefined; rather than leaking ``inf`` (which is not valid JSON
+        and poisons ``--json`` figure output) the absolute stall count of
+        this run is returned as a finite proxy — 0.0 when this run also
+        has none.
+        """
         if baseline.persist_stalls == 0:
-            return 0.0 if self.persist_stalls == 0 else float("inf")
+            return float(self.persist_stalls)
         return self.persist_stalls / baseline.persist_stalls
 
     def summary(self) -> Dict[str, object]:
@@ -150,13 +157,23 @@ class MachineStats:
             "stall_lock": total.stall_lock,
             "l1_hits": total.l1_hits,
             "l1_misses": total.l1_misses,
+            "pm_reads": total.pm_reads,
+            "pm_writes": total.pm_writes,
             "ckc": round(self.ckc, 2),
         }
 
 
 def geomean(values: List[float]) -> float:
-    """Geometric mean, the paper's "average speedup" aggregation."""
-    vals = [v for v in values if v > 0]
-    if not vals:
+    """Geometric mean, the paper's "average speedup" aggregation.
+
+    Non-positive inputs have no geometric mean; silently dropping them
+    (the historical behaviour) skews figure summaries without a trace,
+    so they are rejected loudly instead.  An empty list stays 0.0 for
+    callers aggregating possibly-empty series.
+    """
+    bad = [v for v in values if v <= 0]
+    if bad:
+        raise ValueError(f"geomean is undefined for non-positive values: {bad}")
+    if not values:
         return 0.0
-    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+    return math.exp(sum(math.log(v) for v in values) / len(values))

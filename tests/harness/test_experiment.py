@@ -1,5 +1,7 @@
 """Experiment-driver unit tests."""
 
+import dataclasses
+
 import pytest
 
 from repro.harness.experiment import (
@@ -41,3 +43,34 @@ def test_cache_distinguishes_models():
     a = run_cell("queue", "strandweaver", "txn", ops_per_thread=4)
     b = run_cell("queue", "strandweaver", "sfr", ops_per_thread=4)
     assert a is not b
+
+
+def test_cache_distinguishes_pm_timing():
+    """Regression: the memo key must cover the *full* MachineConfig.
+
+    A previous RunKey fingerprinted only the strand-buffer fields, so two
+    configs differing in PM timing silently shared one cached result.
+    """
+    clear_cache()
+    slow_pm = dataclasses.replace(
+        TABLE_I, pm=dataclasses.replace(TABLE_I.pm, write_to_controller=768)
+    )
+    a = run_cell("queue", "strandweaver", "txn", ops_per_thread=4)
+    b = run_cell(
+        "queue", "strandweaver", "txn", ops_per_thread=4, machine_cfg=slow_pm
+    )
+    assert a is not b
+    assert a.cycles != b.cycles  # a 4x CLWB-ack latency must show up
+
+
+def test_cache_distinguishes_cache_timing():
+    clear_cache()
+    slow_l1 = dataclasses.replace(
+        TABLE_I, l1d=dataclasses.replace(TABLE_I.l1d, hit_latency=40)
+    )
+    a = run_cell("queue", "strandweaver", "txn", ops_per_thread=4)
+    b = run_cell(
+        "queue", "strandweaver", "txn", ops_per_thread=4, machine_cfg=slow_l1
+    )
+    assert a is not b
+    assert a.cycles != b.cycles

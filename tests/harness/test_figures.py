@@ -82,3 +82,21 @@ def test_run_cell_cached():
 def test_run_cell_unknown_benchmark():
     with pytest.raises(ValueError):
         run_cell("btree", "intel-x86")
+
+
+def test_figure_parallel_matches_serial():
+    """A figure regenerated at -j 2 is identical to the serial run."""
+    serial = table2(ops_per_thread=OPS)
+    parallel = table2(ops_per_thread=OPS, jobs=2)
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_figure_renders_from_disk_cache(tmp_path):
+    from repro.harness.cachedir import CellCache
+
+    cache = CellCache(str(tmp_path))
+    clear_cache()
+    cold = table2(ops_per_thread=OPS, cache=cache)
+    clear_cache()  # drop the memo so the warm pass must read from disk
+    warm = table2(ops_per_thread=OPS, cache=cache)
+    assert cold.to_json() == warm.to_json()

@@ -124,9 +124,13 @@ def test_cli_bench_writes_summary(tmp_path, capsys):
 
 def test_geomean_edge_cases():
     assert geomean([]) == 0.0
-    assert geomean([0.0, 0.0]) == 0.0  # zeros are filtered, empty -> 0
-    assert geomean([0.0, 2.0, 8.0]) == pytest.approx(4.0)  # zeros ignored
     assert geomean([5.0]) == pytest.approx(5.0)
+    # Non-positive values used to be silently dropped, quietly skewing
+    # figure summaries; they are now rejected loudly.
+    with pytest.raises(ValueError):
+        geomean([0.0, 0.0])
+    with pytest.raises(ValueError):
+        geomean([0.0, 2.0, 8.0])
 
 
 def test_core_stats_merge_edge_cases():
@@ -147,3 +151,52 @@ def test_machine_stats_total_ignores_metrics_field():
     total = ms.total
     assert total.ops == 1
     assert total.metrics is None
+
+
+# -- non-finite rejection + cache payload round-trip (satellite) ---------
+
+
+def test_exporters_reject_non_finite_values(tmp_path):
+    from repro.obs.export import dump_json
+
+    for bad in (float("inf"), float("-inf"), float("nan")):
+        with pytest.raises(ValueError):
+            dump_json(str(tmp_path / "bad.json"), {"value": bad})
+    dump_json(str(tmp_path / "ok.json"), {"value": 1.5})
+    assert json.loads((tmp_path / "ok.json").read_text()) == {"value": 1.5}
+
+
+def test_summary_includes_pm_traffic_counters():
+    summary = run_queue().summary()
+    assert "pm_reads" in summary and "pm_writes" in summary
+    assert summary["pm_writes"] > 0  # persists really reach the controller
+
+
+def test_machine_stats_doc_round_trip():
+    from repro.obs.export import machine_stats_from_doc, machine_stats_to_doc
+
+    stats = run_queue()
+    doc = json.loads(json.dumps(machine_stats_to_doc(stats)))
+    back = machine_stats_from_doc(doc)
+    assert back.design == stats.design
+    assert back.cycles == stats.cycles
+    assert back.summary() == stats.summary()
+    assert [c for c in back.per_core] == [c for c in stats.per_core]
+
+
+def test_sweep_json_schema(tmp_path):
+    from repro.harness.sweep import SweepCell, run_sweep
+    from repro.obs.export import SWEEP_SCHEMA, write_sweep_json
+
+    result = run_sweep([SweepCell("queue", "strandweaver", ops_per_thread=4)])
+    out = tmp_path / "sweep.json"
+    doc = write_sweep_json(str(out), result)
+    assert doc["schema"] == SWEEP_SCHEMA
+    assert doc["n_cells"] == 1 and doc["errors"] == 0
+    cell = doc["cells"][0]
+    assert cell["ok"] and cell["summary"]["design"] == "strandweaver"
+    assert "wall_time_s" in cell and "source" in cell
+    det = result.to_json(deterministic=True)
+    assert "wall_time_s" not in det and "jobs" not in det
+    assert all("wall_time_s" not in c and "source" not in c for c in det["cells"])
+    assert json.loads(out.read_text()) == doc

@@ -63,7 +63,33 @@ def test_speedup_and_stall_ratio():
     assert fast.stall_ratio_vs(slow) == 0.25
 
 
+def test_stall_ratio_vs_zero_baseline_stays_finite():
+    """A stall-free baseline must not leak ``inf`` into figure JSON."""
+    import math
+
+    stalled = MachineStats(design="a", per_core=[CoreStats(cycles=100, stall_fence=7)])
+    clean = MachineStats(design="b", per_core=[CoreStats(cycles=100)])
+    assert clean.stall_ratio_vs(clean) == 0.0
+    ratio = stalled.stall_ratio_vs(clean)
+    assert math.isfinite(ratio)
+    assert ratio == 7.0  # absolute stall count as the finite proxy
+
+
+def test_summary_reports_pm_traffic():
+    core = CoreStats(cycles=10, pm_reads=3, pm_writes=5)
+    summary = MachineStats(design="x", per_core=[core, CoreStats(pm_writes=2)]).summary()
+    assert summary["pm_reads"] == 3
+    assert summary["pm_writes"] == 7
+
+
 def test_geomean():
     assert geomean([1.0, 4.0]) == pytest.approx(2.0)
     assert geomean([]) == 0.0
     assert geomean([2.0]) == pytest.approx(2.0)
+
+
+def test_geomean_rejects_non_positive_values():
+    with pytest.raises(ValueError, match="non-positive"):
+        geomean([1.0, 0.0, 4.0])
+    with pytest.raises(ValueError, match="non-positive"):
+        geomean([-2.0])
