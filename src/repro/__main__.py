@@ -7,6 +7,7 @@ Usage::
     python -m repro trace <workload> --design <d> [--model m] [--out trace.json]
     python -m repro bench [--ops N] [--out BENCH_trace.json]
     python -m repro crashtest <workload> --design <d> --crashes N [--seed S] [--json]
+    python -m repro soak <workload> --seeds N [--design <d>] [--seed S] [--json]
     python -m repro lint <workload> [--design <d>|all] [--model m] [--json]
 
 ``trace`` replays one (workload, design, model) cell with the tracer on
@@ -26,7 +27,12 @@ evaluates an arbitrary (workload x design x model) matrix through the
 parallel sweep engine and emits the ``repro.sweep/1`` artefact; figures
 accept ``-j/--jobs`` to fan their cell lists over worker processes, and
 both reuse results across invocations via the content-addressed on-disk
-cache under ``.repro-cache/`` (disable with ``--no-cache``).
+cache under ``.repro-cache/`` (disable with ``--no-cache``); ``--timeout``
+and ``--retries`` bound each cell (a hung or killed worker fails only
+its own cell).  ``soak`` runs a randomized fault campaign — per-case
+crash points, media-fault models and power failures injected *inside*
+recovery, all derived from one master seed — and shrinks any unexpected
+violation to a minimal replayable reproducer (``repro.soak/1``).
 """
 
 import argparse
@@ -55,7 +61,9 @@ ARTEFACTS = {
     ),
 }
 
-COMMANDS = sorted(ARTEFACTS) + ["all", "sweep", "trace", "bench", "crashtest", "lint"]
+COMMANDS = sorted(ARTEFACTS) + [
+    "all", "sweep", "trace", "bench", "crashtest", "soak", "lint",
+]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -116,9 +124,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of rendered tables",
     )
     parser.add_argument(
-        "--design", default="strandweaver",
-        help="hardware design for 'trace'/'crashtest' (default: strandweaver; "
-        "'crashtest' also accepts 'all' for the differential oracle)",
+        "--design", default=None,
+        help="hardware design for 'trace'/'crashtest'/'soak' (default: "
+        "strandweaver; 'crashtest' also accepts 'all' for the differential "
+        "oracle; 'soak' rotates over every design unless one is pinned)",
     )
     parser.add_argument(
         "--model", default="txn",
@@ -160,8 +169,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--no-shrink", action="store_true",
-        help="crashtest: skip shrinking the first failure to a minimal "
-        "reproducer",
+        help="crashtest/soak: skip shrinking failures to minimal reproducers",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=50, metavar="N",
+        help="soak: number of randomized cases to run (default 50)",
+    )
+    parser.add_argument(
+        "--no-media", action="store_true",
+        help="soak: never attach a device-level media fault model",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="sweep: per-cell timeout in seconds (a hung cell's worker is "
+        "killed and only that cell fails)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="sweep: re-run a failing cell up to N extra times (default 0)",
     )
     return parser
 
@@ -172,6 +197,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.sim.machine import DESIGNS, Machine
     from repro.workloads import WORKLOADS, generate_for_design
 
+    if args.design is None:
+        args.design = "strandweaver"
     if args.workload is None:
         print("trace requires a workload, e.g.: python -m repro trace queue",
               file=sys.stderr)
@@ -221,6 +248,8 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
     from repro.sim.machine import DESIGNS
     from repro.workloads import WORKLOADS
 
+    if args.design is None:
+        args.design = "strandweaver"
     if args.workload is None:
         print("crashtest requires a workload, e.g.: "
               "python -m repro crashtest queue", file=sys.stderr)
@@ -255,12 +284,50 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.chaos import run_soak
+    from repro.sim.machine import DESIGNS
+    from repro.workloads import WORKLOADS
+
+    if args.workload is None:
+        print("soak requires a workload, e.g.: python -m repro soak queue",
+              file=sys.stderr)
+        return 2
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; choose from {sorted(WORKLOADS)}",
+              file=sys.stderr)
+        return 2
+    if args.design not in (None, "all") and args.design not in DESIGNS:
+        print(f"unknown design {args.design!r}; choose from "
+              f"{sorted(DESIGNS) + ['all']}", file=sys.stderr)
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    designs = None if args.design in (None, "all") else [args.design]
+    result = run_soak(
+        args.workload,
+        seeds=args.seeds,
+        seed=args.seed,
+        designs=designs,
+        media=not args.no_media,
+        shrink=not args.no_shrink,
+    )
+    if args.json:
+        print(json.dumps(result.summary(), indent=1, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import LINT_SCHEMA, analyze
     from repro.harness.experiment import default_config
     from repro.sim.machine import DESIGNS
     from repro.workloads import WORKLOADS, generate_for_design
 
+    if args.design is None:
+        args.design = "strandweaver"
     if args.workload is None:
         print("lint requires a workload, e.g.: python -m repro lint queue",
               file=sys.stderr)
@@ -355,8 +422,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if err:
         print(err, file=sys.stderr)
         return 2
+    if args.retries < 0:
+        print("--retries must be non-negative", file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("--timeout must be a positive number of seconds", file=sys.stderr)
+        return 2
     cells = expand_cells(workloads, designs, models, ops_per_thread=args.ops)
-    result = run_sweep(cells, jobs=args.jobs, cache=_make_cache(args))
+    result = run_sweep(
+        cells, jobs=args.jobs, cache=_make_cache(args),
+        timeout=args.timeout, retries=args.retries,
+    )
     doc = sweep_to_json(result, deterministic=args.deterministic)
     if args.out:
         write_sweep_json(args.out, result, deterministic=args.deterministic)
@@ -411,6 +487,8 @@ def main(argv=None) -> int:
         return _cmd_bench(args)
     if args.artefact == "crashtest":
         return _cmd_crashtest(args)
+    if args.artefact == "soak":
+        return _cmd_soak(args)
     if args.artefact == "lint":
         return _cmd_lint(args)
     if args.artefact == "sweep":

@@ -21,15 +21,19 @@ from repro.chaos.plan import (
     DEFAULT_WRITEBACK_PROB,
     CrashSchedule,
     FaultPlan,
+    RecoveryCrash,
     sample_schedules,
 )
-from repro.chaos.shrink import ShrinkResult, shrink_crash_point
+from repro.chaos.shrink import ShrinkResult, not_reproducible, shrink_crash_point
+from repro.chaos.soak import SOAK_SCHEMA, SoakCase, SoakResult, run_soak
+from repro.faults.model import MediaFaultConfig
 from repro.sim.durability import CrashState, CrashTrigger, DurabilityTracker
 
 __all__ = [
     "CHAOS_CFG",
     "DEFAULT_DROP_PROB",
     "DEFAULT_WRITEBACK_PROB",
+    "SOAK_SCHEMA",
     "CrashHarness",
     "CrashSample",
     "CrashSchedule",
@@ -40,11 +44,17 @@ __all__ = [
     "DurabilityTracker",
     "FaultPlan",
     "ImageInfo",
+    "MediaFaultConfig",
+    "RecoveryCrash",
     "ShrinkResult",
+    "SoakCase",
+    "SoakResult",
     "build_crash_image",
     "durable_cut",
+    "not_reproducible",
     "run_crashtest",
     "run_differential",
+    "run_soak",
     "sample_schedules",
     "shrink_crash_point",
 ]

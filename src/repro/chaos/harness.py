@@ -32,7 +32,8 @@ from repro.chaos.plan import (
     sample_schedules,
 )
 from repro.core.model import PersistDag
-from repro.lang.recovery import recover
+from repro.faults.recovery import CrashingRecoveryWriter, RecoveryCrashed
+from repro.lang.recovery import RecoveryReport, recover
 from repro.sim.config import TABLE_I, MachineConfig
 from repro.sim.machine import DESIGNS, Machine
 from repro.workloads import (
@@ -63,6 +64,10 @@ class CrashSample:
     n_replayed: int
     occupancy: Dict[str, object]
     violation: Optional[str] = None  #: failure message, None on success
+    #: recovery passes run (1 + crashes injected inside recovery).
+    recovery_passes: int = 1
+    #: media fault/retry accounting from the run, when a model was active.
+    media_faults: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -107,14 +112,20 @@ class CrashHarness:
         self.total_ops = sum(len(t) for t in self.run.program.threads)
 
     def crash_once(self, plan: FaultPlan, index: int = 0) -> CrashSample:
-        """Crash under ``plan``, recover, check; returns the sample."""
+        """Crash under ``plan``, recover, check; returns the sample.
+
+        When the plan schedules crashes *during* recovery, each scheduled
+        crash kills one recovery pass at its seeded write budget, the
+        torn intermediate image is materialised, and recovery re-runs —
+        the pass after the last scheduled crash completes normally.
+        """
         stats = Machine(self.design, self.machine_cfg).run(
             self.run.program, fault_plan=plan
         )
         crash = stats.crash
         assert crash is not None  # run() always attaches one under a plan
         image, info = build_crash_image(self.run, crash, plan, self.dag)
-        report = recover(image, self.run.layout)
+        report, passes = self._recover_with_crashes(image, plan)
         violation: Optional[str] = None
         try:
             self.run.check_image(image)
@@ -135,7 +146,36 @@ class CrashHarness:
             n_replayed=report.n_replayed,
             occupancy=crash.occupancy,
             violation=violation,
+            recovery_passes=passes,
+            media_faults=stats.faults,
         )
+
+    def _recover_with_crashes(
+        self, image, plan: FaultPlan
+    ) -> "tuple[RecoveryReport, int]":
+        """Run recovery, injecting the plan's crash-during-recovery points.
+
+        Returns the report of the pass that completed plus the total
+        number of passes attempted.  A resumed-sweep pass reports no
+        rollback/replay work (the repairs were already durable), so the
+        completing pass's report is returned as-is.
+        """
+        layout = self.run.layout
+        passes = 0
+        for i, rc in enumerate(plan.recovery_crashes):
+            writer = CrashingRecoveryWriter(
+                image,
+                after_writes=rc.after_writes,
+                seed=(plan.seed * 0x9E3779B1 + i) & 0xFFFFFFFF,
+                drop_prob=rc.drop_prob,
+            )
+            passes += 1
+            try:
+                # The pass may outrun its crash budget and complete.
+                return recover(image, layout, writer=writer), passes
+            except RecoveryCrashed:
+                writer.materialise_crash()
+        return recover(image, layout), passes + 1
 
     def crash_schedule(self, schedule: CrashSchedule, index: int = 0) -> CrashSample:
         """Concretise a fractional schedule against this cell and crash."""
@@ -208,6 +248,12 @@ class CrashTestResult:
             "recovered_ok": sum(1 for s in self.samples if s.ok),
             "injected_writebacks": sum(s.info.n_injected for s in self.samples),
             "guard_blocked": sum(s.info.n_guard_blocked for s in self.samples),
+            "recovery_passes": sum(s.recovery_passes for s in self.samples),
+            "media_retries": sum(
+                int(s.media_faults.get("retries", 0))
+                for s in self.samples
+                if s.media_faults
+            ),
             "shrunk_at": None if self.shrunk is None else self.shrunk.minimal_at,
             "replay": self.replay_command(),
         }

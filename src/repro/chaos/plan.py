@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
+from repro.faults.model import MediaFaultConfig
 from repro.sim.durability import CrashTrigger
 
 #: default probability that an in-flight dirty line is force-evicted.
@@ -28,6 +29,24 @@ DEFAULT_WRITEBACK_PROB = 0.6
 #: default probability that a durable store's persist is re-timed past
 #: the crash (unbounded CLWB delay absent an ordering fence).
 DEFAULT_DROP_PROB = 0.25
+
+
+@dataclass(frozen=True)
+class RecoveryCrash:
+    """One power failure scheduled *inside* a recovery pass.
+
+    ``after_writes`` is the number of recovery persists the pass gets to
+    issue before power fails (a budget past the pass's total write count
+    simply lets it complete).  ``drop_prob`` is the chance each unfenced
+    write is still in flight at the failure — fenced epochs always
+    survive (see :class:`repro.faults.CrashingRecoveryWriter`).
+    """
+
+    after_writes: int
+    drop_prob: float = 0.5
+
+    def describe(self) -> str:
+        return f"recovery-crash@{self.after_writes}(drop={self.drop_prob:g})"
 
 
 @dataclass(frozen=True)
@@ -57,6 +76,13 @@ class FaultPlan:
     #: (ADR-failure stress; breaks store atomicity, so even correct
     #: designs are expected to fail — used to prove checker sensitivity).
     torn: bool = False
+    #: device-level media faults (seeded write failures, ECC errors) the
+    #: PM controller must absorb during the run; None = perfect media.
+    media: Optional[MediaFaultConfig] = None
+    #: power failures scheduled inside recovery: crash the Nth recovery
+    #: pass at its ``after_writes``-th persist, re-recover, repeat; the
+    #: pass after the last scheduled crash runs to completion.
+    recovery_crashes: Tuple[RecoveryCrash, ...] = ()
 
     def describe(self) -> str:
         parts = [self.trigger.describe(), f"seed={self.seed}"]
@@ -66,6 +92,9 @@ class FaultPlan:
             parts.append(f"drop-faults(p={self.drop_prob:g})")
         if self.torn:
             parts.append("torn-writes")
+        if self.media is not None and self.media.enabled:
+            parts.append(self.media.describe())
+        parts.extend(rc.describe() for rc in self.recovery_crashes)
         return " ".join(parts)
 
 
@@ -87,6 +116,8 @@ class CrashSchedule:
     drop_faults: bool = True
     drop_prob: float = DEFAULT_DROP_PROB
     torn: bool = False
+    media: Optional[MediaFaultConfig] = None
+    recovery_crashes: Tuple[RecoveryCrash, ...] = ()
 
     def concretise(self, horizon: float, total_ops: int) -> FaultPlan:
         """Pin this schedule to one design's measured run length."""
@@ -102,10 +133,17 @@ class CrashSchedule:
             drop_faults=self.drop_faults,
             drop_prob=self.drop_prob,
             torn=self.torn,
+            media=self.media,
+            recovery_crashes=self.recovery_crashes,
         )
 
     def describe(self) -> str:
-        return f"{self.kind}@{self.frac:.3f} seed={self.seed}"
+        desc = f"{self.kind}@{self.frac:.3f} seed={self.seed}"
+        if self.media is not None and self.media.enabled:
+            desc += " " + self.media.describe()
+        if self.recovery_crashes:
+            desc += " " + " ".join(rc.describe() for rc in self.recovery_crashes)
+        return desc
 
 
 def sample_schedules(

@@ -12,6 +12,17 @@ the hardware time to finish persists), so the result is a local minimum:
 the earliest failing point on the binary-search path.  That is exactly
 what property-testing shrinkers deliver, and in practice it lands right
 after the inconsistency is first exposed.
+
+Two degenerate inputs are handled explicitly rather than looping or
+silently echoing the input plan:
+
+* a plan that does not fail on re-execution (lost determinism, or a
+  flaky report) yields the canonical **not-reproducible** result —
+  ``reproducible=False``, no probes wasted on a search that cannot
+  anchor;
+* a plan whose *earliest* possible fault point already fails is
+  returned immediately as the minimum — binary search has nothing to
+  bisect when the failing window starts at the origin.
 """
 
 from __future__ import annotations
@@ -32,21 +43,50 @@ OPS_TOLERANCE = 1
 
 @dataclass
 class ShrinkResult:
-    """Minimal failing crash point found by binary search."""
+    """Outcome of the shrink search.
+
+    ``reproducible`` is False when the plan did not fail on re-execution:
+    ``minimal_at`` then echoes the original trigger and ``violation``
+    explains the non-reproduction — the canonical "not reproducible"
+    result, so callers never have to distinguish a None from a search.
+    """
 
     kind: str
     original_at: float
     minimal_at: float
     probes: int
     violation: str
+    reproducible: bool = True
 
     def describe(self) -> str:
         unit = "cycle" if self.kind == "cycle" else "op"
+        if not self.reproducible:
+            return (
+                f"not reproducible: crash at {unit}={self.original_at:g} "
+                f"passed on re-execution ({self.probes} probe(s)) — "
+                f"{self.violation}"
+            )
         return (
             f"minimal failing crash point {unit}={self.minimal_at:g} "
             f"(from {self.original_at:g}, {self.probes} probes): "
             f"{self.violation}"
         )
+
+
+def not_reproducible(plan: FaultPlan, probes: int = 1) -> ShrinkResult:
+    """Canonical result for a plan that passes on re-execution."""
+    return ShrinkResult(
+        kind=plan.trigger.kind,
+        original_at=plan.trigger.at,
+        minimal_at=plan.trigger.at,
+        probes=probes,
+        violation=(
+            "the same plan recovered cleanly when replayed; determinism "
+            "was lost or the original report was flaky "
+            f"[{plan.describe()}]"
+        ),
+        reproducible=False,
+    )
 
 
 def shrink_crash_point(
@@ -55,9 +95,10 @@ def shrink_crash_point(
     """Binary-search the smallest trigger threshold that still fails.
 
     Keeps every other knob of ``plan`` (fault seed, write-back
-    probability, torn mode) fixed so the shrunk crash is the same
-    experiment, only earlier.  Returns None if ``plan`` does not fail on
-    re-execution (a flaky report would indicate lost determinism).
+    probability, torn mode, media faults, recovery crashes) fixed so the
+    shrunk crash is the same experiment, only earlier.  Always returns a
+    :class:`ShrinkResult`; check ``reproducible`` before trusting
+    ``minimal_at``.
     """
     kind = plan.trigger.kind
     tolerance = CYCLE_TOLERANCE if kind == "cycle" else OPS_TOLERANCE
@@ -70,7 +111,22 @@ def shrink_crash_point(
     violation = probe(hi)
     probes = 1
     if violation is None:
-        return None
+        return not_reproducible(plan, probes)
+    # Guard: if the earliest possible fault point already fails there is
+    # nothing to bisect — return it as the minimum instead of looping on
+    # a window that can never tighten.
+    earliest = tolerance if kind == "cycle" else 1
+    if hi > earliest:
+        first_msg = probe(earliest)
+        probes += 1
+        if first_msg is not None:
+            return ShrinkResult(
+                kind=kind,
+                original_at=plan.trigger.at,
+                minimal_at=float(earliest),
+                probes=probes,
+                violation=first_msg,
+            )
     lo = 0.0
     while hi - lo > tolerance and probes < max_probes:
         mid = (lo + hi) / 2 if kind == "cycle" else (int(lo) + int(hi)) // 2

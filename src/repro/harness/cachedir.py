@@ -9,11 +9,15 @@ and re-compared on every read, so even a hash collision (or a corrupted
 or hand-edited file) can never serve a foreign result — a lookup either
 returns stats whose identity matched field-for-field, or it is a miss.
 
-Entries are written atomically (temp file + ``os.replace``) so parallel
-sweep workers and concurrent sweeps can share one cache directory
-without torn reads.  A schema-version bump invalidates every existing
-entry implicitly: old fingerprints no longer match, old files are just
-ignored.
+Entries are written atomically (temp file, ``fsync``, ``os.replace``) so
+parallel sweep workers and concurrent sweeps can share one cache
+directory without torn reads, and a machine crash racing the rename can
+only leave behind the old entry, a stray ``.tmp`` file, or a complete
+new entry — never a renamed-but-unwritten one.  Whatever garbage does
+survive a crash (truncated JSON, a partial entry under the right name)
+is rejected by the read-side verification and recomputed.  A
+schema-version bump invalidates every existing entry implicitly: old
+fingerprints no longer match, old files are just ignored.
 """
 
 from __future__ import annotations
@@ -94,7 +98,12 @@ class CellCache:
             return None
 
     def store(self, fingerprint: Dict[str, object], stats: MachineStats) -> str:
-        """Atomically persist ``stats`` under the fingerprint's key."""
+        """Atomically persist ``stats`` under the fingerprint's key.
+
+        The temp file is flushed and ``fsync``'d *before* the rename:
+        without it, a crash could reorder the rename ahead of the data
+        and leave a correctly-named entry with truncated contents.
+        """
         key = fingerprint_key(fingerprint)
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -109,6 +118,8 @@ class CellCache:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(doc, fh, indent=1, sort_keys=True, allow_nan=False)
                 fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

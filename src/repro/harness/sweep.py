@@ -9,8 +9,18 @@ cells with
 
 * **deterministic ordering** — results come back in input order no
   matter how the pool schedules them;
-* **per-cell error capture** — one failed cell reports its traceback,
-  the rest of the sweep completes;
+* **per-cell error capture** — one failed cell reports its exception
+  class, message and traceback (:class:`CellFailure`), the rest of the
+  sweep completes;
+* **worker-loss isolation** — a worker that dies (OOM-killed, segfault,
+  SIGKILL) poisons only the cell it was running: the pool is respawned
+  and every other in-flight cell is re-executed in isolation, so the
+  culprit is identified definitively instead of taking innocent
+  neighbours down with a ``BrokenProcessPool``;
+* **per-cell timeouts and bounded retries** — ``timeout`` kills a hung
+  cell's worker and fails (or retries) just that cell; ``retries``
+  re-runs failing cells a bounded number of times, with the attempt
+  count recorded in the failure;
 * **three-level caching** — the in-process memo (shared with
   :func:`repro.harness.experiment.run_cell`), then the content-addressed
   on-disk cache (:mod:`repro.harness.cachedir`), then a real run.
@@ -18,16 +28,28 @@ cells with
 
 ``jobs <= 1`` runs every cell inline in this process (no pool, no
 pickling), which is the bit-identical reference path the parallel path
-is validated against.
+is validated against.  Setting ``timeout`` forces the pool path even at
+``jobs=1``: a hung cell can only be killed from outside its process.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: test-only fault hooks, read inside the worker: a cell whose label
+#: equals the value of KILL dies by SIGKILL (simulating an OOM-killed or
+#: segfaulting worker); a cell matching HANG sleeps far past any test
+#: timeout (simulating a livelocked cell).  Unset in production.
+TEST_KILL_ENV = "REPRO_SWEEP_TEST_KILL"
+TEST_HANG_ENV = "REPRO_SWEEP_TEST_HANG"
+_HANG_SECONDS = 60.0
 
 from repro.harness.cachedir import CellCache, cell_fingerprint, fingerprint_key
 from repro.harness.experiment import (
@@ -81,19 +103,54 @@ class SweepCell:
 
 
 @dataclass
+class CellFailure:
+    """Typed provenance of one cell's failure.
+
+    ``kind`` is ``"exception"`` (the cell raised), ``"timeout"`` (it
+    exceeded the per-cell budget and its worker was killed) or
+    ``"worker-lost"`` (its worker process died — OOM killer, segfault,
+    external SIGKILL).  ``attempts`` counts every execution attempt,
+    including retries.
+    """
+
+    kind: str
+    exception: str  #: exception class name (or a synthetic one)
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        return self.traceback or f"{self.exception}: {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "exception": self.exception,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
 class CellResult:
-    """Outcome of one cell: stats on success, a traceback on failure."""
+    """Outcome of one cell: stats on success, a typed failure otherwise."""
 
     cell: SweepCell
     stats: Optional[MachineStats]
-    error: Optional[str] = None
+    failure: Optional[CellFailure] = None
     wall_time: float = 0.0
     #: where the result came from: ``memo`` | ``cache`` | ``run``.
     source: str = "run"
 
     @property
+    def error(self) -> Optional[str]:
+        """Human-readable failure text (the traceback when available)."""
+        return None if self.failure is None else str(self.failure)
+
+    @property
     def ok(self) -> bool:
-        return self.error is None and self.stats is not None
+        return self.failure is None and self.stats is not None
 
 
 @dataclass
@@ -153,7 +210,15 @@ def expand_cells(
 
 
 def _execute(cell: SweepCell) -> Tuple[str, object, float]:
-    """Run one cell; never raises.  Returns (status, payload, seconds)."""
+    """Run one cell; never raises.  Returns (status, payload, seconds).
+
+    ``payload`` is the :class:`MachineStats` on ``"ok"``, or an
+    ``(exception class name, message, traceback)`` triple on ``"error"``.
+    """
+    if os.environ.get(TEST_KILL_ENV) == cell.label():
+        os.kill(os.getpid(), signal.SIGKILL)
+    if os.environ.get(TEST_HANG_ENV) == cell.label():
+        time.sleep(_HANG_SECONDS)
     t0 = time.perf_counter()
     try:
         stats = run_cell(
@@ -165,8 +230,168 @@ def _execute(cell: SweepCell) -> Tuple[str, object, float]:
             machine_cfg=cell.machine_cfg,
         )
         return "ok", stats, time.perf_counter() - t0
-    except Exception:
-        return "error", traceback.format_exc(), time.perf_counter() - t0
+    except Exception as exc:
+        payload = (type(exc).__name__, str(exc), traceback.format_exc())
+        return "error", payload, time.perf_counter() - t0
+
+
+def _failure(status: str, payload: object, attempts: int) -> CellFailure:
+    """Build the typed failure record for a non-``ok`` outcome."""
+    if status == "error":
+        exc_name, message, tb = payload  # type: ignore[misc]
+        return CellFailure(
+            kind="exception",
+            exception=str(exc_name),
+            message=str(message),
+            traceback=str(tb),
+            attempts=attempts,
+        )
+    if status == "timeout":
+        return CellFailure(
+            kind="timeout",
+            exception="TimeoutError",
+            message=str(payload),
+            attempts=attempts,
+        )
+    return CellFailure(
+        kind="worker-lost",
+        exception="BrokenProcessPool",
+        message=str(payload),
+        attempts=attempts,
+    )
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool that may contain hung or dead workers.
+
+    A plain ``shutdown`` would block on (or leak) a hung worker, so the
+    worker processes are terminated first.
+    """
+    for proc in list(getattr(pool, "_processes", {}).values() or []):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_solo(
+    cell: SweepCell, timeout: Optional[float], retries: int, prior_attempts: int
+) -> Tuple[str, object, float, int]:
+    """Execute one cell in its own single-worker pool, with retries.
+
+    Full isolation: if the worker dies or hangs here, this cell is the
+    culprit by construction.  Returns (status, payload, seconds, total
+    attempts including ``prior_attempts``).
+    """
+    attempts = prior_attempts
+    last: Tuple[str, object, float] = (
+        "worker-lost", "cell was never executed", 0.0
+    )
+    for _ in range(retries + 1):
+        attempts += 1
+        pool = ProcessPoolExecutor(max_workers=1)
+        fut = pool.submit(_execute, cell)
+        try:
+            last = fut.result(timeout=timeout)
+            pool.shutdown()
+        except FuturesTimeout:
+            _kill_pool(pool)
+            last = (
+                "timeout",
+                f"cell exceeded the per-cell timeout of {timeout:g}s",
+                float(timeout or 0.0),
+            )
+            continue
+        except Exception as exc:  # worker process died mid-cell
+            _kill_pool(pool)
+            last = (
+                "worker-lost",
+                f"worker process died while running this cell: {exc!r}",
+                0.0,
+            )
+            continue
+        if last[0] == "ok":
+            break
+    return last[0], last[1], last[2], attempts
+
+
+def _run_pool(
+    unique: List[SweepCell],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+) -> Dict[SweepCell, Tuple[str, object, float, int]]:
+    """Fan cells over a process pool, surviving hangs and dead workers.
+
+    Clean outcomes (ok / cell raised) are attributed in the parallel
+    batch, with failed cells re-batched while they have retries left.  A
+    hang or worker death cannot be attributed safely inside a shared
+    pool — the broken future is not necessarily the broken cell — so the
+    pool is torn down and every unfinished cell re-runs through
+    :func:`_run_solo`, where blame is unambiguous.  One poisoned cell
+    therefore fails alone; its neighbours complete on the respawned path.
+    """
+    outcomes: Dict[SweepCell, Tuple[str, object, float, int]] = {}
+    attempts: Dict[SweepCell, int] = {cell: 0 for cell in unique}
+    batch = list(unique)
+    solo: List[SweepCell] = []
+    while batch:
+        for cell in batch:
+            attempts[cell] += 1
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(batch)))
+        futures = [(cell, pool.submit(_execute, cell)) for cell in batch]
+        retry_batch: List[SweepCell] = []
+        broken = False
+        for cell, fut in futures:
+            if broken:
+                # The pool is compromised: harvest finished results,
+                # route everything else through isolated re-execution
+                # (uncharged — the in-flight attempt was aborted through
+                # no fault that can be pinned on the cell yet).
+                done_ok = False
+                if fut.done():
+                    try:
+                        status, payload, seconds = fut.result(timeout=0)
+                        done_ok = True
+                    except Exception:
+                        done_ok = False
+                if done_ok:
+                    if status == "ok" or attempts[cell] > retries:
+                        outcomes[cell] = (status, payload, seconds, attempts[cell])
+                    else:
+                        retry_batch.append(cell)
+                else:
+                    attempts[cell] -= 1
+                    solo.append(cell)
+                continue
+            try:
+                status, payload, seconds = fut.result(timeout=timeout)
+            except FuturesTimeout:
+                # `cell` hung (or is starved behind a hung neighbour):
+                # isolation will tell, with the timeout measured fairly
+                # from its own start.
+                broken = True
+                attempts[cell] -= 1
+                solo.append(cell)
+                continue
+            except Exception:
+                # The worker running *some* cell died and broke the
+                # shared pool; which cell is the culprit is unknowable
+                # from here.
+                broken = True
+                attempts[cell] -= 1
+                solo.append(cell)
+                continue
+            if status == "ok" or attempts[cell] > retries:
+                outcomes[cell] = (status, payload, seconds, attempts[cell])
+            else:
+                retry_batch.append(cell)
+        _kill_pool(pool) if broken else pool.shutdown()
+        batch = retry_batch
+    for cell in solo:
+        outcomes[cell] = _run_solo(cell, timeout, retries, attempts[cell])
+    return outcomes
 
 
 def run_sweep(
@@ -174,8 +399,16 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[CellCache] = None,
     use_memo: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> SweepResult:
-    """Evaluate every cell, fanning misses out over ``jobs`` processes."""
+    """Evaluate every cell, fanning misses out over ``jobs`` processes.
+
+    ``timeout`` bounds each cell's execution in seconds (enforced by
+    killing the cell's worker process; forces the pool path even at
+    ``jobs=1``).  ``retries`` re-runs a failing cell up to that many
+    extra times before recording its :class:`CellFailure`.
+    """
     cell_list = list(cells)
     t0 = time.perf_counter()
     results: List[Optional[CellResult]] = [None] * len(cell_list)
@@ -211,19 +444,20 @@ def run_sweep(
     cache_misses = len(pending) if cache is not None else 0
 
     unique = list(pending)
-    if jobs > 1 and len(unique) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(unique))) as pool:
-            futures = [(cell, pool.submit(_execute, cell)) for cell in unique]
-            outcomes = []
-            for cell, fut in futures:
-                try:
-                    outcomes.append((cell,) + fut.result())
-                except Exception:  # pool-level failure (e.g. dead worker)
-                    outcomes.append((cell, "error", traceback.format_exc(), 0.0))
+    if (jobs > 1 or timeout is not None) and unique:
+        by_cell = _run_pool(unique, max(jobs, 1), timeout, retries)
+        outcomes = [(cell,) + by_cell[cell] for cell in unique]
     else:
-        outcomes = [(cell,) + _execute(cell) for cell in unique]
+        outcomes = []
+        for cell in unique:
+            status, payload, seconds = _execute(cell)
+            attempts = 1
+            while status != "ok" and attempts <= retries:
+                status, payload, seconds = _execute(cell)
+                attempts += 1
+            outcomes.append((cell, status, payload, seconds, attempts))
 
-    for cell, status, payload, seconds in outcomes:
+    for cell, status, payload, seconds, attempts in outcomes:
         if status == "ok":
             assert isinstance(payload, MachineStats)
             res = CellResult(cell, payload, wall_time=seconds, source="run")
@@ -232,7 +466,12 @@ def run_sweep(
             if cache is not None:
                 cache.store(cell.fingerprint(), payload)
         else:
-            res = CellResult(cell, None, error=str(payload), wall_time=seconds)
+            res = CellResult(
+                cell,
+                None,
+                failure=_failure(status, payload, attempts),
+                wall_time=seconds,
+            )
         for idx in pending[cell]:
             results[idx] = res
 

@@ -59,6 +59,17 @@ TYPE_NAMES = {
 
 _HEAD = struct.Struct("<QQQ")
 _META = struct.Struct("<BBBBIQ")  # type, valid, commit, size, tid, addr
+_STATE = struct.Struct("<Q")
+
+#: recovery-progress phases persisted in the recovery-state word (bytes
+#: 24..32 of thread 0's header line — spare space, so the layout
+#: geometry and every entry address are unchanged).
+RECOVERY_IDLE = 0  #: no recovery in flight (the all-zero initial state)
+#: data repairs (redo replay + undo rollback) are durable; the log sweep
+#: (entry invalidation + head reset) may be anywhere between untouched
+#: and complete, so the surviving entries are garbage and must only be
+#: swept, never re-applied.  ASCII "SWEP" with a high tag byte.
+RECOVERY_SWEEPING = 0x52_53574550
 
 
 class LogError(Exception):
@@ -159,6 +170,26 @@ class LogLayout:
 
     def encode_head(self, head: int, retired: int = 0) -> bytes:
         return _HEAD.pack(head, self.capacity, retired)
+
+    # -- recovery-state word (crash-safe re-entrant recovery) -------------
+
+    @property
+    def recovery_state_addr(self) -> int:
+        """Address of the 8-byte recovery-progress word.
+
+        It lives in the spare bytes after thread 0's ``(head, capacity,
+        retired)`` header triple: a single aligned word the recovery
+        protocol can flip atomically, without moving any existing log
+        address.  ``init_region(space, 0)`` zeroes it (= RECOVERY_IDLE).
+        """
+        return self.header_addr(0) + _HEAD.size
+
+    def read_recovery_state(self, space: PersistentMemory) -> int:
+        return _STATE.unpack(space.read(self.recovery_state_addr, 8))[0]
+
+    @staticmethod
+    def encode_recovery_state(state: int) -> bytes:
+        return _STATE.pack(state)
 
     def read_entry(self, space: PersistentMemory, tid: int, slot: int) -> LogEntry:
         raw = space.read(self.entry_addr(tid, slot), ENTRY_SIZE)

@@ -1,4 +1,4 @@
-"""Crash recovery from undo logs (Section V, Figure 6).
+"""Crash recovery from undo logs (Section V, Figure 6) — re-entrant.
 
 ``recover`` takes a crashed PM image and repairs it in place:
 
@@ -21,13 +21,38 @@
 
 The creation sequence stored in every entry is the reproduction's
 stand-in for the paper's happens-before metadata (see DESIGN.md).
+
+**Crash safety.**  Recovery itself can lose power, and its own repairs
+are persists that land in arbitrary order unless explicitly fenced.  All
+image writes therefore go through a writer object (``write``/``fence``,
+see :mod:`repro.faults.recovery`) and follow a three-phase protocol
+anchored on the 8-byte recovery-state word in the log header
+(:attr:`~repro.lang.logbuf.LogLayout.recovery_state_addr`):
+
+* **repair** — all redo/rollback data writes, then a fence.  A crash in
+  here leaves the log intact, so the next pass simply recomputes and
+  rewrites every repair; partially-persisted repairs are overwritten.
+* **mark** — one atomic write flips the state word to
+  ``RECOVERY_SWEEPING``, then a fence.  From this point the data
+  repairs are durable and the log is garbage.
+* **sweep** — entries are invalidated and heads reset (any order), a
+  fence, then the state word clears back to ``RECOVERY_IDLE``.  A crash
+  in here is resumed by sweeping *everything* again: surviving entries
+  must never be re-applied, because rolling back a partially-invalidated
+  log would resurrect undone stores (e.g. re-applying an older entry's
+  old value over a newer one that was already swept).
+
+Re-running ``recover`` on any crash prefix of itself — any number of
+times — converges to the same image as one uninterrupted pass, which is
+what ``tests/faults`` and the chaos soak campaign verify.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.faults.recovery import DirectWriter
 from repro.lang import logbuf
 from repro.lang.logbuf import LogEntry, LogLayout
 from repro.pmem.space import PersistentMemory
@@ -41,6 +66,9 @@ class RecoveryReport:
     rolled_back: List[LogEntry] = field(default_factory=list)
     replayed: List[LogEntry] = field(default_factory=list)
     skipped_committed: List[LogEntry] = field(default_factory=list)
+    #: this pass found a prior pass's durable repairs (state word was
+    #: ``RECOVERY_SWEEPING``) and only swept the remaining log garbage.
+    resumed_sweep: bool = False
 
     @property
     def n_rolled_back(self) -> int:
@@ -51,15 +79,34 @@ class RecoveryReport:
         return len(self.replayed)
 
 
-def recover(image: PersistentMemory, layout: LogLayout) -> RecoveryReport:
-    """Repair ``image`` in place; returns a report of the actions taken."""
+def recover(
+    image: PersistentMemory, layout: LogLayout, writer: Optional[object] = None
+) -> RecoveryReport:
+    """Repair ``image`` in place; returns a report of the actions taken.
+
+    ``writer`` orders recovery's own persists (default: direct writes
+    with free fences — the fault-free path).  The chaos harness passes a
+    :class:`repro.faults.CrashingRecoveryWriter` to kill the pass
+    mid-flight; re-invoking ``recover`` on the torn image converges.
+    """
+    w = writer if writer is not None else DirectWriter(image)
     report = RecoveryReport()
 
+    entries_by_tid: Dict[int, List[LogEntry]] = {
+        tid: layout.scan(image, tid) for tid in range(layout.n_threads)
+    }
+
+    if layout.read_recovery_state(image) == logbuf.RECOVERY_SWEEPING:
+        # A previous pass crashed after its repairs became durable: the
+        # surviving entries are garbage in an unknowable invalidation
+        # state.  Re-applying any of them could undo a durable repair,
+        # so this pass only finishes the sweep.
+        report.resumed_sweep = True
+        _sweep(layout, entries_by_tid, w)
+        return report
+
     # Pass 1: find the commit frontier of every thread.
-    entries_by_tid: Dict[int, List[LogEntry]] = {}
-    for tid in range(layout.n_threads):
-        entries = layout.scan(image, tid)
-        entries_by_tid[tid] = entries
+    for tid, entries in entries_by_tid.items():
         committed = 0
         for entry in entries:
             if entry.commit:
@@ -71,12 +118,14 @@ def recover(image: PersistentMemory, layout: LogLayout) -> RecoveryReport:
     # (to roll back).
     to_rollback: List[LogEntry] = []
     to_replay: List[LogEntry] = []
+    any_valid = False
     for tid, entries in entries_by_tid.items():
         frontier = report.committed_upto[tid]
         retired = layout.read_retired(image, tid)
         for entry in entries:
             if not entry.valid:
                 continue
+            any_valid = True
             if entry.seq <= frontier:
                 if entry.type == logbuf.REDO and entry.seq > retired:
                     to_replay.append(entry)
@@ -85,23 +134,53 @@ def recover(image: PersistentMemory, layout: LogLayout) -> RecoveryReport:
             elif entry.type == logbuf.STORE:
                 to_rollback.append(entry)
 
-    # Pass 3a: replay committed redo entries in creation order.
+    # Nothing logged, nothing to reset: a clean image (e.g. a second
+    # recovery pass over recovered state) must be a pure no-op — no
+    # writes, bit-identical bytes.
+    if not any_valid and not any(
+        layout.read_head(image, tid) or layout.read_retired(image, tid)
+        for tid in range(layout.n_threads)
+    ):
+        return report
+
+    # Phase "repair" — pass 3a: replay committed redo entries in
+    # creation order.
     to_replay.sort(key=lambda e: e.seq)
     for entry in to_replay:
-        image.write(entry.addr, entry.value)
+        w.write(entry.addr, entry.value)
         report.replayed.append(entry)
 
     # Pass 3b: roll back uncommitted undo stores in reverse creation order.
     to_rollback.sort(key=lambda e: e.seq, reverse=True)
     for entry in to_rollback:
-        image.write(entry.addr, entry.value)
+        w.write(entry.addr, entry.value)
         report.rolled_back.append(entry)
+    w.fence()
 
-    # Pass 4: reset the logs (invalidate everything, rewind heads).
+    # Phase "mark": repairs are durable — flip the state word so a crash
+    # from here on resumes as sweep-only.
+    w.write(
+        layout.recovery_state_addr,
+        layout.encode_recovery_state(logbuf.RECOVERY_SWEEPING),
+    )
+    w.fence()
+
+    # Phase "sweep" — pass 4: reset the logs (invalidate everything,
+    # rewind heads) and clear the state word.
+    _sweep(layout, entries_by_tid, w)
+    return report
+
+
+def _sweep(layout: LogLayout, entries_by_tid, w) -> None:
+    """Invalidate every surviving entry, rewind heads, go idle."""
     for tid, entries in entries_by_tid.items():
         for entry in entries:
             if entry.valid:
-                image.write(layout.entry_addr(tid, entry.slot) + 1, b"\x00")
-        image.write(layout.header_addr(tid), layout.encode_head(0))
-
-    return report
+                w.write(layout.entry_addr(tid, entry.slot) + 1, b"\x00")
+        w.write(layout.header_addr(tid), layout.encode_head(0))
+    w.fence()
+    w.write(
+        layout.recovery_state_addr,
+        layout.encode_recovery_state(logbuf.RECOVERY_IDLE),
+    )
+    w.fence()

@@ -111,6 +111,7 @@ def sweep_to_json(sweep, deterministic: bool = False) -> Dict[str, object]:
             "key": res.cell.key(),
             "ok": res.ok,
             "error": res.error,
+            "failure": None if res.failure is None else res.failure.to_json(),
             "summary": res.stats.summary() if res.stats is not None else None,
         }
         if not deterministic:

@@ -195,7 +195,7 @@ class CacheHierarchy:
         else:
             self.l2.misses += 1
             if persistent:
-                done = self.pm.read(t_l1 + self.cfg.l2.hit_latency)
+                done = self.pm.read(t_l1 + self.cfg.l2.hit_latency, line)
                 served = "pm"
             else:
                 done = self.dram.access(t_l1 + self.cfg.l2.hit_latency)

@@ -76,6 +76,22 @@ class PMConfig:
     #: combine writes to a line still waiting in the write queue (the
     #: Optane write-pending-queue behaviour); disable for ablation.
     coalesce_writes: bool = True
+    # -- media-resilience policy (only exercised when a fault model is
+    # attached; see repro.faults.MediaFaultModel) --------------------------
+    #: media write attempts before the controller gives up retrying a
+    #: transiently failing line and falls back to a spare-line remap.
+    max_write_retries: int = 4
+    #: backoff before the first retry (cycles); doubles per attempt up to
+    #: ``retry_backoff_mult ** (attempt - 1)`` times the base.
+    retry_backoff_base: int = 128
+    retry_backoff_mult: float = 2.0
+    #: extra controller latency to redirect a line into the spare region
+    #: (metadata update + spare write setup).
+    remap_latency: int = 1500
+    #: spare lines available for remapping before the device is worn out.
+    spare_lines: int = 64
+    #: added read latency when the ECC engine corrects a line error.
+    ecc_penalty: int = 96
 
 
 @dataclass(frozen=True)

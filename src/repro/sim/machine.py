@@ -62,7 +62,8 @@ class Machine:
         self.tracer = tracer
 
     def run(
-        self, program: Program, warm: bool = True, fault_plan=None
+        self, program: Program, warm: bool = True, fault_plan=None,
+        media_faults=None,
     ) -> MachineStats:
         """Replay ``program``; ``warm`` pre-loads every touched line into
         the L2 to model steady-state measurement (see CacheHierarchy.warm).
@@ -74,6 +75,14 @@ class Machine:
         machine's durable frontier and persist-structure occupancy to the
         returned stats.  Without a plan the durability tracker is the
         no-op null object, so timing is bit-identical to a plain run.
+
+        ``media_faults`` attaches a :class:`repro.faults.MediaFaultModel`
+        to the PM controller (retry/backoff, ECC penalties, spare-line
+        remaps — see :mod:`repro.sim.memory`).  A plan carrying a
+        ``media`` :class:`~repro.faults.MediaFaultConfig` builds one
+        implicitly; ``stats.faults`` then records what the device
+        suffered.  With neither, timing is bit-identical to a build
+        without the fault layer.
         """
         if program.n_threads > self.cfg.n_cores:
             raise ValueError(
@@ -81,7 +90,13 @@ class Machine:
                 f"{self.cfg.n_cores} cores"
             )
         tracer = self.tracer
-        pm = PMController(self.cfg.pm, tracer)
+        if media_faults is None and fault_plan is not None:
+            media_cfg = getattr(fault_plan, "media", None)
+            if media_cfg is not None and media_cfg.enabled:
+                from repro.faults.model import MediaFaultModel
+
+                media_faults = MediaFaultModel(media_cfg)
+        pm = PMController(self.cfg.pm, tracer, faults=media_faults)
         dram = DRAMController()
         hierarchy = CacheHierarchy(self.cfg, pm, dram)
         if warm:
@@ -195,6 +210,8 @@ class Machine:
                 },
                 tracker=tracker,
             )
+        if pm.faults is not None:
+            stats.faults = pm.faults.summary()
         return stats
 
 

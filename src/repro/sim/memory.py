@@ -16,10 +16,14 @@ out-of-order times cannot steal bandwidth from each other's past.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.config import PMConfig
 from repro.sim.engine import BandwidthResource
+
+if TYPE_CHECKING:  # no runtime import: faults is an optional layer
+    from repro.faults.model import MediaFaultModel
 
 #: Perfetto track names of the controller's shared resources.
 WRITE_QUEUE_TRACK = "pm/write-queue"
@@ -36,11 +40,28 @@ class WriteTicket:
 
 
 class PMController:
-    """Shared PM controller: acceptance bandwidth, write queue, media."""
+    """Shared PM controller: acceptance bandwidth, write queue, media.
 
-    def __init__(self, cfg: PMConfig, tracer: Tracer = NULL_TRACER) -> None:
+    When a :class:`~repro.faults.MediaFaultModel` is attached the
+    controller additionally runs its resilience policy: transient media
+    write failures are retried with exponential backoff (each retry
+    consumes a real media slot, so retries back-pressure the write queue
+    and surface as persist stalls), and a line that exhausts its retry
+    budget — or proves ECC-uncorrectable — is remapped into the spare
+    region, degrading the device once spares run out.  Without a model
+    every fault path is dead code and timing is bit-identical to the
+    fault-free build.
+    """
+
+    def __init__(
+        self,
+        cfg: PMConfig,
+        tracer: Tracer = NULL_TRACER,
+        faults: Optional["MediaFaultModel"] = None,
+    ) -> None:
         self.cfg = cfg
         self.tracer = tracer
+        self.faults = faults if faults is not None and faults.enabled else None
         self._accept = BandwidthResource(cfg.accept_interval)
         #: media sustains one line per this many cycles.
         self._media_interval = cfg.write_to_media / cfg.media_banks
@@ -78,8 +99,7 @@ class PMController:
                 return WriteTicket(
                     accepted=grant, acked=acked, media_done=pending + self.cfg.write_to_media
                 )
-        media_start = self._media.reserve(grant)
-        media_done = media_start + self.cfg.write_to_media
+        media_start, media_done = self._media_write(grant, line)
         # Back-pressure: the write queue holds a line from acceptance to
         # the start of its media write.  When the backlog exceeds what the
         # queue can hold, acceptance is delayed accordingly.
@@ -102,17 +122,89 @@ class PMController:
             metrics.histogram("pm/ack_latency").observe(acked - t)
         return WriteTicket(accepted=accepted, acked=acked, media_done=media_done)
 
+    def _media_write(self, grant: float, line: int) -> "tuple[float, float]":
+        """Issue the media write for one line, applying the fault policy.
+
+        Returns ``(media_start, media_done)`` of the attempt that finally
+        stuck.  Every failed attempt consumed a real media slot, so
+        retries back-pressure later writes exactly like extra traffic.
+        """
+        media_start = self._media.reserve(grant)
+        media_done = media_start + self.cfg.write_to_media
+        faults = self.faults
+        if faults is None or line < 0:
+            return media_start, media_done
+        # Wear-out: the line is uncorrectable — no retry can help, the
+        # controller goes straight to the spare region.
+        if faults.write_uncorrectable(line):
+            faults.ecc_uncorrectable += 1
+            return self._remap_write(media_done, line)
+        attempt = 1
+        while faults.write_fails(line):
+            faults.write_faults += 1
+            if attempt > self.cfg.max_write_retries:
+                faults.exhausted_retries += 1
+                return self._remap_write(media_done, line)
+            backoff = self.cfg.retry_backoff_base * (
+                self.cfg.retry_backoff_mult ** (attempt - 1)
+            )
+            faults.retries += 1
+            faults.backoff_cycles += backoff
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "pm.retry", MEDIA_TRACK, media_done, backoff,
+                    line=line, attempt=attempt,
+                )
+                self.tracer.metrics.counter("pm/retries").inc()
+            media_start = self._media.reserve(media_done + backoff)
+            media_done = media_start + self.cfg.write_to_media
+            attempt += 1
+        return media_start, media_done
+
+    def _remap_write(self, t: float, line: int) -> "tuple[float, float]":
+        """Redirect ``line`` into the spare region and write it there.
+
+        When the spare region is exhausted the device is worn: the write
+        still completes (the media eventually absorbs it) but the model
+        records the denial, and the line keeps faulting on later writes.
+        """
+        assert self.faults is not None
+        remapped = self.faults.remap(line, self.cfg.spare_lines)
+        media_start = self._media.reserve(t + self.cfg.remap_latency)
+        media_done = media_start + self.cfg.write_to_media
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "pm.remap" if remapped else "pm.remap-denied",
+                MEDIA_TRACK, media_start, line=line,
+            )
+            self.tracer.metrics.counter(
+                "pm/remaps" if remapped else "pm/remap_denied"
+            ).inc()
+        return media_start, media_done
+
     def write_queue_depth(self, t: float) -> int:
         """Lines sitting in the write queue at ``t`` — accepted into the
         ADR domain but not yet started on the media (crash-state
         reporting)."""
         return sum(1 for start in self._queued_line.values() if start > t)
 
-    def read(self, t: float) -> float:
-        """Issue one line read at ``t``; returns data-return time."""
+    def read(self, t: float, line: int = -1) -> float:
+        """Issue one line read at ``t``; returns data-return time.
+
+        Under a fault model, a correctable ECC error on the line adds
+        the correction penalty to the data-return path.
+        """
         self.reads += 1
         grant = self._read_bw.reserve(t)
-        return grant + self.cfg.read_latency
+        done = grant + self.cfg.read_latency
+        faults = self.faults
+        if faults is not None and line >= 0 and faults.read_correctable(line):
+            faults.ecc_corrected += 1
+            done += self.cfg.ecc_penalty
+            if self.tracer.enabled:
+                self.tracer.instant("pm.ecc-correct", MEDIA_TRACK, grant, line=line)
+                self.tracer.metrics.counter("pm/ecc_corrected").inc()
+        return done
 
 
 class DRAMController:

@@ -87,6 +87,10 @@ class MachineStats:
     #: machine state at the injected crash point when the run was cut
     #: short by a fault plan (see repro.chaos); None on normal completion.
     crash: Optional["CrashState"] = field(default=None, repr=False, compare=False)
+    #: media fault/resilience accounting when the run executed under an
+    #: enabled :class:`repro.faults.MediaFaultModel`; None otherwise, so
+    #: fault-free summaries are byte-identical to pre-fault-layer builds.
+    faults: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     @property
     def cycles(self) -> int:
@@ -142,7 +146,7 @@ class MachineStats:
         ``object`` value type.
         """
         total = self.total
-        return {
+        out: Dict[str, object] = {
             "design": self.design,
             "cycles": self.cycles,
             "ops": total.ops,
@@ -161,6 +165,9 @@ class MachineStats:
             "pm_writes": total.pm_writes,
             "ckc": round(self.ckc, 2),
         }
+        if self.faults is not None:
+            out["faults"] = dict(self.faults)
+        return out
 
 
 def geomean(values: List[float]) -> float:

@@ -1,0 +1,110 @@
+"""Soak campaign: determinism, isolated replay, shrinker hand-off."""
+
+import json
+
+from repro.chaos import CrashHarness, run_soak
+from repro.chaos.harness import CHAOS_CFG
+from repro.chaos.shrink import not_reproducible, shrink_crash_point
+from repro.chaos.soak import pick_design, sample_case_schedule
+
+
+def _summary_blob(result):
+    return json.dumps(result.summary(), sort_keys=True)
+
+
+def test_soak_is_deterministic_run_to_run():
+    """Same master seed -> byte-identical repro.soak/1 document."""
+    a = run_soak("queue", seeds=6, seed=3)
+    b = run_soak("queue", seeds=6, seed=3)
+    assert _summary_blob(a) == _summary_blob(b)
+    assert a.summary()["schema"] == "repro.soak/1"
+
+
+def test_soak_correct_designs_survive_the_campaign():
+    result = run_soak("queue", seeds=8, seed=3)
+    assert result.ok, result.render()
+    # The campaign must actually exercise the fault machinery.
+    assert result.summary()["recovery_passes"] >= len(result.cases)
+    assert any(c.media_faults for c in result.cases), (
+        "no case drew a media fault model"
+    )
+    assert any(c.recovery_passes > 1 for c in result.cases), (
+        "no case crashed during recovery"
+    )
+
+
+def test_failing_case_replays_in_isolation():
+    """A case replayed via its private seed reproduces the same plan."""
+    campaign = run_soak("queue", seeds=5, seed=11)
+    for case in campaign.cases:
+        solo = run_soak(
+            "queue", seeds=1, seed=case.seed, designs=[case.design]
+        )
+        assert solo.cases[0].plan_desc == case.plan_desc
+        assert solo.cases[0].violation == case.violation
+
+
+def test_case_generation_is_independent_of_design_rotation():
+    schedule = sample_case_schedule(1234)
+    assert schedule == sample_case_schedule(1234)
+    all_designs = ["intel-x86", "hops", "strandweaver"]
+    chosen = pick_design(1234, all_designs)
+    assert pick_design(1234, [chosen]) == chosen
+
+
+def test_non_atomic_violations_are_expected_not_failures():
+    result = run_soak("queue", seeds=8, seed=11, designs=["non-atomic"])
+    assert result.ok
+    assert result.expected_violations > 0, (
+        "8 seeded crashes on NON-ATOMIC produced no violation; the "
+        "campaign lost its teeth"
+    )
+    assert not result.failures
+
+
+def test_unexpected_failure_is_shrunk_and_replayable(monkeypatch):
+    """A violation on a correct design lands in ``failing`` with a shrink
+    verdict and a replay command.  The fabricated violation does not
+    reproduce, so the shrinker must return its canonical
+    not-reproducible result instead of a bogus minimum."""
+    real = CrashHarness.crash_schedule
+
+    def fabricate(self, schedule, index=0):
+        sample = real(self, schedule, index)
+        sample.violation = "synthetic violation (test-only)"
+        return sample
+
+    monkeypatch.setattr(CrashHarness, "crash_schedule", fabricate)
+    result = run_soak("queue", seeds=1, seed=3, designs=["strandweaver"])
+    assert not result.ok
+    case = result.cases[0]
+    assert case.shrunk is not None
+    assert case.shrunk.reproducible is False
+    failing = result.summary()["failing"][0]
+    assert "soak queue --design strandweaver" in failing["replay"]
+    assert "not reproducible" in failing["shrunk"]
+
+
+# -- shrinker guard rails ------------------------------------------------
+
+
+def test_shrink_guard_non_reproducible_plan():
+    """A plan that recovers cleanly yields the canonical result, not a
+    search (one probe) and not None."""
+    harness = CrashHarness("queue", "strandweaver", cfg=CHAOS_CFG)
+    from repro.chaos import CrashTrigger, FaultPlan
+
+    plan = FaultPlan(
+        trigger=CrashTrigger("cycle", max(1.0, harness.horizon * 0.5)),
+        seed=5,
+    )
+    assert harness.crash_once(plan).ok  # precondition: plan passes
+    result = shrink_crash_point(harness, plan)
+    assert result is not None
+    assert result.reproducible is False
+    assert result.minimal_at == plan.trigger.at
+    assert result.probes == 1
+    assert "not reproducible" in result.describe()
+    # The canonical constructor used by other callers agrees.
+    canon = not_reproducible(plan)
+    assert canon.reproducible is False and canon.kind == plan.trigger.kind

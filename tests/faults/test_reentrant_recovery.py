@@ -1,0 +1,130 @@
+"""Recovery must converge under repeated power failures mid-recovery.
+
+The oracle: for any crash image, recovery interrupted by one, two or
+three further power failures — each tearing the interrupted pass's
+unfenced writes down to a seeded subset — followed by re-recovery must
+produce *byte-identical* PM contents to one uninterrupted pass.  Checked
+for every hardware design, and for the explicit mid-sweep resume path
+(the ``RECOVERY_SWEEPING`` state word).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import CrashHarness, CrashTrigger, FaultPlan, RecoveryCrash
+from repro.chaos.image import build_crash_image
+from repro.faults import CrashingRecoveryWriter, RecoveryCrashed
+from repro.lang import logbuf
+from repro.lang.recovery import recover
+from repro.sim.machine import DESIGNS, Machine
+from repro.workloads import WorkloadConfig
+
+CFG = WorkloadConfig(
+    n_threads=3, ops_per_thread=8, log_entries=1024, pm_size=1 << 20
+)
+
+#: write-budget tuples: single / double / triple crash-during-recovery,
+#: spanning kill-immediately, mid-repair and mid-sweep points.
+CRASH_SCHEDULES = [
+    (RecoveryCrash(0, drop_prob=1.0),),
+    (RecoveryCrash(3, drop_prob=0.5),),
+    (RecoveryCrash(2, drop_prob=0.7), RecoveryCrash(9, drop_prob=0.3)),
+    (
+        RecoveryCrash(1, drop_prob=0.5),
+        RecoveryCrash(5, drop_prob=0.5),
+        RecoveryCrash(14, drop_prob=0.5),
+    ),
+]
+
+
+def _crash_image(harness, frac=0.55, seed=5):
+    plan = FaultPlan(
+        trigger=CrashTrigger("cycle", max(1.0, harness.horizon * frac)),
+        seed=seed,
+    )
+    stats = Machine(harness.design, harness.machine_cfg).run(
+        harness.run.program, fault_plan=plan
+    )
+    assert stats.crash is not None
+    image, _ = build_crash_image(harness.run, stats.crash, plan, harness.dag)
+    return image, plan
+
+
+@pytest.mark.parametrize("design", sorted(DESIGNS))
+def test_interrupted_recovery_converges_on_every_design(design):
+    harness = CrashHarness("queue", design, cfg=CFG)
+    image, plan = _crash_image(harness)
+    pristine = image.snapshot()
+    reference_report = recover(image, harness.run.layout)
+    reference = image.snapshot()
+    assert reference != pristine, "crash image needed no recovery (vacuous)"
+
+    for crashes in CRASH_SCHEDULES:
+        image.restore(pristine)
+        crash_plan = dataclasses.replace(plan, recovery_crashes=crashes)
+        report, passes = harness._recover_with_crashes(image, crash_plan)
+        assert image.snapshot() == reference, (
+            f"{design}: image diverged after {len(crashes)} "
+            f"crash(es)-during-recovery [{crash_plan.describe()}]"
+        )
+        assert 1 <= passes <= len(crashes) + 1
+    assert reference_report.n_rolled_back + reference_report.n_replayed > 0
+
+
+@pytest.mark.parametrize("design", sorted(DESIGNS))
+def test_mid_sweep_crash_resumes_as_sweep_only(design):
+    """Kill recovery right after the SWEEPING mark becomes durable.
+
+    The resumed pass must detect the durable state word, skip every
+    re-apply, and still converge to the uninterrupted result.
+    """
+    harness = CrashHarness("queue", design, cfg=CFG)
+    image, _ = _crash_image(harness)
+    pristine = image.snapshot()
+    reference_report = recover(image, harness.run.layout)
+    reference = image.snapshot()
+    repairs = (
+        reference_report.n_rolled_back + reference_report.n_replayed
+    )
+
+    # Budget = repairs + mark + one sweep write: the crash lands inside
+    # the sweep, after the fenced mark epoch, so the torn image carries
+    # a durable RECOVERY_SWEEPING word.
+    image.restore(pristine)
+    writer = CrashingRecoveryWriter(
+        image, after_writes=repairs + 2, seed=3, drop_prob=1.0
+    )
+    with pytest.raises(RecoveryCrashed):
+        recover(image, harness.run.layout, writer=writer)
+    writer.materialise_crash()
+    assert (
+        harness.run.layout.read_recovery_state(image)
+        == logbuf.RECOVERY_SWEEPING
+    )
+
+    resumed = recover(image, harness.run.layout)
+    assert resumed.resumed_sweep
+    assert resumed.n_rolled_back == 0 and resumed.n_replayed == 0
+    assert image.snapshot() == reference
+    assert (
+        harness.run.layout.read_recovery_state(image) == logbuf.RECOVERY_IDLE
+    )
+
+
+def test_recovered_image_passes_invariants_after_triple_crash():
+    """End to end through the harness: crash, thrice-interrupted recovery,
+    invariant check — for a correct design this must always pass."""
+    harness = CrashHarness("queue", "strandweaver", cfg=CFG)
+    plan = FaultPlan(
+        trigger=CrashTrigger("cycle", max(1.0, harness.horizon * 0.55)),
+        seed=5,
+        recovery_crashes=(
+            RecoveryCrash(1, drop_prob=0.5),
+            RecoveryCrash(5, drop_prob=0.5),
+            RecoveryCrash(14, drop_prob=0.5),
+        ),
+    )
+    sample = harness.crash_once(plan)
+    assert sample.ok, sample.violation
+    assert sample.recovery_passes > 1

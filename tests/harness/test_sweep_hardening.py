@@ -1,0 +1,180 @@
+"""Sweep resilience: dead workers, hung cells, retries, failure provenance."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.cachedir import CellCache
+from repro.harness.experiment import clear_cache
+from repro.harness.sweep import (
+    TEST_HANG_ENV,
+    TEST_KILL_ENV,
+    CellFailure,
+    SweepCell,
+    run_sweep,
+)
+
+OPS = 4
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _cells():
+    return [
+        SweepCell("queue", "strandweaver", ops_per_thread=OPS),
+        SweepCell("hashmap", "strandweaver", ops_per_thread=OPS),
+        SweepCell("queue", "intel-x86", ops_per_thread=OPS),
+        SweepCell("hashmap", "intel-x86", ops_per_thread=OPS),
+    ]
+
+
+# -- worker death isolation ----------------------------------------------
+
+
+def test_killed_worker_fails_exactly_one_cell(monkeypatch):
+    """SIGKILL mid-cell (OOM-killer stand-in): the poisoned cell reports
+    worker-lost, every other cell — including pool-mates that were in
+    flight when the pool broke — completes."""
+    cells = _cells()
+    monkeypatch.setenv(TEST_KILL_ENV, cells[1].label())
+    result = run_sweep(cells, jobs=2, use_memo=False)
+    assert result.errors == 1
+    for res in result.cells:
+        if res.cell == cells[1]:
+            assert res.failure is not None
+            assert res.failure.kind == "worker-lost"
+            assert res.failure.attempts == 1
+            assert "died" in res.error
+        else:
+            assert res.ok, res.error
+
+
+def test_killed_worker_retries_then_fails(monkeypatch):
+    cells = _cells()[:2]
+    monkeypatch.setenv(TEST_KILL_ENV, cells[0].label())
+    result = run_sweep(cells, jobs=2, use_memo=False, retries=1)
+    bad = result.result_for(cells[0])
+    assert bad.failure is not None
+    assert bad.failure.kind == "worker-lost"
+    assert bad.failure.attempts == 2
+    assert result.result_for(cells[1]).ok
+
+
+# -- per-cell timeout ----------------------------------------------------
+
+
+def test_hung_cell_times_out_alone(monkeypatch):
+    cells = _cells()[:3]
+    monkeypatch.setenv(TEST_HANG_ENV, cells[0].label())
+    result = run_sweep(cells, jobs=2, use_memo=False, timeout=2.0)
+    bad = result.result_for(cells[0])
+    assert bad.failure is not None
+    assert bad.failure.kind == "timeout"
+    assert "2" in bad.failure.message
+    for cell in cells[1:]:
+        assert result.result_for(cell).ok
+
+
+def test_timeout_applies_even_at_jobs_1(monkeypatch):
+    cell = SweepCell("queue", "strandweaver", ops_per_thread=OPS)
+    monkeypatch.setenv(TEST_HANG_ENV, cell.label())
+    result = run_sweep([cell], jobs=1, use_memo=False, timeout=1.5)
+    assert result.cells[0].failure is not None
+    assert result.cells[0].failure.kind == "timeout"
+
+
+# -- bounded retries and typed provenance --------------------------------
+
+
+def test_exception_failure_is_typed_and_retried():
+    cells = [
+        SweepCell("queue", "strandweaver", ops_per_thread=OPS),
+        SweepCell("no-such-benchmark", "strandweaver", ops_per_thread=OPS),
+    ]
+    result = run_sweep(cells, jobs=1, use_memo=False, retries=2)
+    bad = result.result_for(cells[1])
+    assert not bad.ok
+    failure = bad.failure
+    assert failure is not None
+    assert failure.kind == "exception"
+    assert failure.attempts == 3  # 1 + 2 retries, all deterministic fails
+    assert failure.exception  # the exception class name is captured
+    assert "no-such-benchmark" in failure.traceback
+    # Back-compat: .error remains the human-readable traceback string.
+    assert "no-such-benchmark" in bad.error
+    assert result.result_for(cells[0]).ok
+
+
+def test_retried_exception_same_result_in_pool_mode():
+    cells = [SweepCell("no-such-benchmark", "strandweaver", ops_per_thread=OPS),
+             SweepCell("queue", "strandweaver", ops_per_thread=OPS)]
+    result = run_sweep(cells, jobs=2, use_memo=False, retries=1)
+    bad = result.result_for(cells[0])
+    assert bad.failure is not None
+    assert bad.failure.kind == "exception"
+    assert bad.failure.attempts == 2
+
+
+def test_failure_provenance_in_sweep_json():
+    from repro.obs.export import sweep_to_json
+
+    cells = [SweepCell("no-such-benchmark", "strandweaver", ops_per_thread=OPS)]
+    result = run_sweep(cells, jobs=1, use_memo=False)
+    doc = sweep_to_json(result)
+    (bad,) = doc["cells"]
+    assert bad["ok"] is False
+    assert bad["failure"]["kind"] == "exception"
+    assert bad["failure"]["attempts"] == 1
+    assert "no-such-benchmark" in bad["failure"]["traceback"]
+    json.dumps(doc, allow_nan=False)
+
+
+def test_cell_failure_str_roundtrip():
+    failure = CellFailure(
+        kind="timeout", exception="TimeoutError", message="cell exceeded 5s"
+    )
+    assert str(failure) == "TimeoutError: cell exceeded 5s"
+    with_tb = CellFailure(
+        kind="exception", exception="ValueError", message="boom",
+        traceback="Traceback ...\nValueError: boom",
+    )
+    assert str(with_tb) == with_tb.traceback
+
+
+# -- cache survives torn writes ------------------------------------------
+
+
+def test_truncated_cache_entry_is_recomputed_not_served(tmp_path):
+    """A partially-written entry (power loss before the data hit disk,
+    rename survived) must read as a miss and be transparently repaired."""
+    cache = CellCache(str(tmp_path))
+    cell = SweepCell("queue", "strandweaver", ops_per_thread=OPS)
+    first = run_sweep([cell], cache=cache, use_memo=False)
+    assert first.cells[0].ok
+    path = cache.path_for(cell.key())
+
+    whole = open(path, "rb").read()
+    with open(path, "wb") as fh:  # torn mid-file
+        fh.write(whole[: len(whole) // 2])
+    assert cache.lookup(cell.fingerprint()) is None
+
+    clear_cache()
+    again = run_sweep([cell], cache=cache, use_memo=False)
+    assert again.cache_hits == 0 and again.cache_misses == 1
+    assert again.cells[0].ok
+    assert again.cells[0].stats.summary() == first.cells[0].stats.summary()
+
+    # The recompute rewrote a complete entry: next lookup hits.
+    assert cache.lookup(cell.fingerprint()) is not None
+
+    # Zero-length entry (rename raced an empty temp file) is also a miss.
+    with open(path, "wb"):
+        pass
+    assert cache.lookup(cell.fingerprint()) is None
+    assert os.path.getsize(path) == 0
