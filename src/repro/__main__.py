@@ -6,6 +6,8 @@ Usage::
     python -m repro sweep [--workloads w1,w2|all] [--designs d1,d2|all] [-j N] [--json]
     python -m repro trace <workload> --design <d> [--model m] [--out trace.json]
     python -m repro bench [--ops N] [--out BENCH_trace.json]
+    python -m repro bench --record [--baseline BENCH_date.json --max-regress PCT]
+    python -m repro profile <workload> --design <d> [--sort cumtime] [--json|--out f]
     python -m repro crashtest <workload> --design <d> --crashes N [--seed S] [--json]
     python -m repro soak <workload> --seeds N [--design <d>] [--seed S] [--json]
     python -m repro lint <workload> [--design <d>|all] [--model m] [--json]
@@ -33,6 +35,20 @@ its own cell).  ``soak`` runs a randomized fault campaign — per-case
 crash points, media-fault models and power failures injected *inside*
 recovery, all derived from one master seed — and shrinks any unexpected
 violation to a minimal replayable reproducer (``repro.soak/1``).
+
+``profile`` runs one cell under cProfile with the simulated-cycle phase
+profiler attached and reports both attributions (wall-clock seconds per
+simulator subsystem, simulated cycles per phase) as a table or the
+``repro.prof/1`` JSON document; ``--compare`` diffs against a saved
+document.  ``bench --record`` appends a timed run of every figure to a
+``repro.bench-trajectory/1`` store (git SHA, config fingerprint,
+per-figure wall time, cells/sec); ``bench --baseline F --max-regress P``
+re-measures and exits non-zero past the threshold.  Long campaigns
+(``sweep``/``soak``) accept ``--progress`` (live status line) and
+``--runlog F`` (``repro.runlog/1`` JSONL telemetry: per-cell start and
+finish with wall time, heartbeats with ETA, worker pids).  Because the
+run log is wall-clock telemetry it is refused in ``--deterministic``
+sweeps.
 """
 
 import argparse
@@ -62,7 +78,7 @@ ARTEFACTS = {
 }
 
 COMMANDS = sorted(ARTEFACTS) + [
-    "all", "sweep", "trace", "bench", "crashtest", "soak", "lint",
+    "all", "sweep", "trace", "bench", "crashtest", "soak", "lint", "profile",
 ]
 
 
@@ -188,6 +204,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=0, metavar="N",
         help="sweep: re-run a failing cell up to N extra times (default 0)",
     )
+    parser.add_argument(
+        "--sort", default="tottime", choices=("tottime", "cumtime"),
+        help="profile: hot-function ordering (default tottime)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="profile: number of hot functions to report (default 15)",
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="FILE",
+        help="profile: diff this run against a saved repro.prof/1 document",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="bench: time every figure and append the run to the "
+        "trajectory store (--out, default BENCH_<date>.json)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="bench: compare this run against a committed trajectory "
+        "store and fail on regression (see --max-regress)",
+    )
+    parser.add_argument(
+        "--max-regress", type=float, default=300.0, metavar="PCT",
+        help="bench: maximum tolerated total wall-time growth over the "
+        "baseline, in percent (default 300)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="sweep/soak: live progress line on stderr",
+    )
+    parser.add_argument(
+        "--runlog", default=None, metavar="FILE",
+        help="sweep/soak: stream repro.runlog/1 JSONL campaign telemetry "
+        "to FILE (refused with --deterministic)",
+    )
     return parser
 
 
@@ -305,14 +357,32 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         print("--seeds must be at least 1", file=sys.stderr)
         return 2
     designs = None if args.design in (None, "all") else [args.design]
-    result = run_soak(
-        args.workload,
-        seeds=args.seeds,
-        seed=args.seed,
-        designs=designs,
-        media=not args.no_media,
-        shrink=not args.no_shrink,
-    )
+    runlog = progress = None
+    if args.runlog:
+        from repro.prof.runlog import RunLog
+
+        runlog = RunLog(
+            args.runlog, kind="soak", total=args.seeds,
+            meta={"workload": args.workload, "seed": args.seed},
+        )
+    if args.progress:
+        from repro.prof.runlog import Progress
+
+        progress = Progress(args.seeds, label="soak")
+    try:
+        result = run_soak(
+            args.workload,
+            seeds=args.seeds,
+            seed=args.seed,
+            designs=designs,
+            media=not args.no_media,
+            shrink=not args.no_shrink,
+            runlog=runlog,
+            progress=progress,
+        )
+    finally:
+        if runlog is not None:
+            runlog.close()
     if args.json:
         print(json.dumps(result.summary(), indent=1, sort_keys=True))
     else:
@@ -428,11 +498,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.timeout is not None and args.timeout <= 0:
         print("--timeout must be a positive number of seconds", file=sys.stderr)
         return 2
+    if args.deterministic and (args.runlog or args.progress):
+        # The run log and progress line are wall-clock telemetry; a
+        # deterministic sweep must not produce either (the whole point
+        # of --deterministic is byte-identical artefacts).
+        print("--deterministic excludes --runlog/--progress: the run log "
+              "is wall-clock telemetry", file=sys.stderr)
+        return 2
     cells = expand_cells(workloads, designs, models, ops_per_thread=args.ops)
-    result = run_sweep(
-        cells, jobs=args.jobs, cache=_make_cache(args),
-        timeout=args.timeout, retries=args.retries,
-    )
+    runlog = progress = None
+    if args.runlog:
+        from repro.prof.runlog import RunLog
+
+        runlog = RunLog(
+            args.runlog, kind="sweep", total=len(cells),
+            meta={"jobs": args.jobs, "ops_per_thread": args.ops},
+        )
+    if args.progress:
+        from repro.prof.runlog import Progress
+
+        progress = Progress(len(cells), label="sweep")
+    try:
+        result = run_sweep(
+            cells, jobs=args.jobs, cache=_make_cache(args),
+            timeout=args.timeout, retries=args.retries,
+            runlog=runlog, progress=progress,
+        )
+    finally:
+        if runlog is not None:
+            runlog.close()
     doc = sweep_to_json(result, deterministic=args.deterministic)
     if args.out:
         write_sweep_json(args.out, result, deterministic=args.deterministic)
@@ -465,11 +559,102 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.errors == 0 else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.prof.wallclock import (
+        compare_profiles,
+        load_profile_doc,
+        profile_cell,
+        render_profile,
+        write_profile_doc,
+    )
+    from repro.sim.machine import DESIGNS
+    from repro.workloads import WORKLOADS
+
+    if args.design is None:
+        args.design = "strandweaver"
+    if args.workload is None:
+        print("profile requires a workload, e.g.: "
+              "python -m repro profile queue --design strandweaver",
+              file=sys.stderr)
+        return 2
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; choose from {sorted(WORKLOADS)}",
+              file=sys.stderr)
+        return 2
+    if args.design not in DESIGNS:
+        print(f"unknown design {args.design!r}; choose from {sorted(DESIGNS)}",
+              file=sys.stderr)
+        return 2
+    if args.model not in ("txn", "atlas", "sfr"):
+        print(f"unknown model {args.model!r}; choose from ['atlas', 'sfr', 'txn']",
+              file=sys.stderr)
+        return 2
+    if args.top < 1:
+        print("--top must be at least 1", file=sys.stderr)
+        return 2
+    doc = profile_cell(
+        args.workload, args.design, args.model,
+        ops_per_thread=args.ops, sort=args.sort, top=args.top,
+    )
+    comparison = None
+    if args.compare:
+        try:
+            baseline = load_profile_doc(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load --compare baseline: {exc}", file=sys.stderr)
+            return 2
+        comparison, _delta = compare_profiles(baseline, doc)
+    if args.out:
+        write_profile_doc(args.out, doc)
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True, allow_nan=False))
+        if comparison:
+            print(comparison, file=sys.stderr)
+    else:
+        print(render_profile(doc))
+        if comparison:
+            print()
+            print(comparison)
+        if args.out:
+            print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import write_bench_summary
+    from repro.prof.bench import resolve_ops
 
+    ops = resolve_ops(args.ops)
+    if args.record or args.baseline:
+        import time as _time
+
+        from repro.prof.bench import append_run, check_regression, record_run
+
+        entry = record_run(ops_per_thread=ops)
+        rc = 0
+        if args.json:
+            print(json.dumps(entry, indent=1, sort_keys=True, allow_nan=False))
+        else:
+            figures = entry["figures"]
+            for name, fig in figures.items():
+                print(f"  {name:8s} {fig['wall_s']:8.3f}s  {fig['cells']:3d} cells  "
+                      f"{fig['cells_per_s']:8.2f} cells/s")
+            print(f"  total    {entry['total_wall_s']:8.3f}s  "
+                  f"{entry['total_cells']:3d} cells  "
+                  f"{entry['cells_per_s']:8.2f} cells/s  "
+                  f"(ops={ops}, sha {str(entry['git_sha'])[:12]})")
+        if args.baseline:
+            ok, report = check_regression(args.baseline, entry, args.max_regress)
+            print(report, file=sys.stderr if args.json else sys.stdout)
+            rc = 0 if ok else 1
+        if args.record:
+            out = args.out or _time.strftime("BENCH_%Y-%m-%d.json")
+            doc = append_run(out, entry)
+            print(f"recorded run {len(doc['runs'])} in {out}",
+                  file=sys.stderr if args.json else sys.stdout)
+        return rc
     out = args.out or "BENCH_trace.json"
-    doc = write_bench_summary(out, ops_per_thread=args.ops)
+    doc = write_bench_summary(out, ops_per_thread=ops)
     if args.json:
         print(json.dumps(doc, indent=1, sort_keys=True))
     else:
@@ -493,6 +678,8 @@ def main(argv=None) -> int:
         return _cmd_lint(args)
     if args.artefact == "sweep":
         return _cmd_sweep(args)
+    if args.artefact == "profile":
+        return _cmd_profile(args)
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
         return 2

@@ -29,6 +29,7 @@ job, where many samples amortise.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -224,13 +225,18 @@ def run_soak(
     shrink: bool = True,
     cfg: Optional[WorkloadConfig] = None,
     machine_cfg: MachineConfig = TABLE_I,
+    runlog=None,
+    progress=None,
 ) -> SoakResult:
     """Run ``seeds`` randomized crash-recover-check cases and shrink failures.
 
     Each case draws its own crash point, fault probabilities, optional
     media fault model and crash-during-recovery schedule from
     ``seed + index``; the per-design :class:`CrashHarness` (one baseline
-    run each) is built lazily and reused across cases.
+    run each) is built lazily and reused across cases.  ``runlog``
+    streams ``repro.runlog/1`` campaign telemetry per case; ``progress``
+    drives a live status line (see :mod:`repro.prof.runlog`) — both are
+    observation-only.
     """
     design_pool = list(designs) if designs else sorted(DESIGNS)
     result = SoakResult(
@@ -241,9 +247,14 @@ def run_soak(
         designs=design_pool,
     )
     harnesses: Dict[str, CrashHarness] = {}
+    busy = 0.0
     for i in range(seeds):
         case_seed = seed + i
         design = pick_design(case_seed, design_pool)
+        label = f"{workload}/{design}/seed{case_seed}"
+        t_case = time.perf_counter()
+        if runlog is not None:
+            runlog.cell_start(label, i)
         schedule = sample_case_schedule(case_seed, media=media)
         harness = harnesses.get(design)
         if harness is None:
@@ -265,4 +276,19 @@ def run_soak(
         if not case.ok and shrink:
             case.shrunk = shrink_crash_point(harness, sample.plan)
         result.cases.append(case)
+        case_wall = time.perf_counter() - t_case
+        busy += case_wall
+        if runlog is not None:
+            runlog.cell_finish(label, i, case.ok, case_wall, source="run")
+            runlog.maybe_heartbeat(i + 1)
+        if progress is not None:
+            progress.update(i + 1)
+    if runlog is not None:
+        runlog.finish(
+            done=len(result.cases),
+            errors=sum(1 for case in result.cases if not case.ok),
+            busy_time_s=busy,
+        )
+    if progress is not None:
+        progress.close()
     return result

@@ -105,5 +105,11 @@ def speedup(
     return this.speedup_over(base)
 
 
+def memo_size() -> int:
+    """Number of distinct cells memoised so far (perf accounting: the
+    bench recorder counts a figure's cells as its memo-entry delta)."""
+    return len(_CACHE)
+
+
 def clear_cache() -> None:
     _CACHE.clear()

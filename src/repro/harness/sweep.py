@@ -59,9 +59,60 @@ from repro.harness.experiment import (
     memo_store,
     run_cell,
 )
+from repro.prof.runlog import Progress, RunLog
 from repro.sim.config import TABLE_I, MachineConfig
 from repro.sim.stats import MachineStats
 from repro.workloads import WorkloadConfig
+
+
+class SweepMonitor:
+    """Fan-in point for campaign telemetry: forwards cell lifecycle
+    events to an optional ``repro.runlog/1`` writer and an optional live
+    progress line.  With neither attached every call is a no-op, so the
+    engine's behaviour (and its deterministic results) are unchanged."""
+
+    def __init__(
+        self,
+        total: int,
+        runlog: Optional[RunLog] = None,
+        progress: Optional[Progress] = None,
+    ) -> None:
+        self.runlog = runlog
+        self.progress = progress
+        self.total = total
+        self.done = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.runlog is not None or self.progress is not None
+
+    def started(self, label: str, index: int) -> None:
+        if self.runlog is not None:
+            self.runlog.cell_start(label, index)
+
+    def finished(
+        self,
+        label: str,
+        index: int,
+        ok: bool,
+        wall_time_s: float,
+        source: str = "run",
+        worker: Optional[int] = None,
+    ) -> None:
+        self.done += 1
+        if self.runlog is not None:
+            self.runlog.cell_finish(
+                label, index, ok, wall_time_s, source=source, worker=worker
+            )
+            self.runlog.maybe_heartbeat(self.done)
+        if self.progress is not None:
+            self.progress.update(self.done)
+
+    def close(self, errors: int, busy_time_s: float) -> None:
+        if self.runlog is not None:
+            self.runlog.finish(self.done, errors, busy_time_s)
+        if self.progress is not None:
+            self.progress.close()
 
 
 @dataclass(frozen=True)
@@ -209,8 +260,9 @@ def expand_cells(
     ]
 
 
-def _execute(cell: SweepCell) -> Tuple[str, object, float]:
-    """Run one cell; never raises.  Returns (status, payload, seconds).
+def _execute(cell: SweepCell) -> Tuple[str, object, float, int]:
+    """Run one cell; never raises.  Returns (status, payload, seconds,
+    worker pid).
 
     ``payload`` is the :class:`MachineStats` on ``"ok"``, or an
     ``(exception class name, message, traceback)`` triple on ``"error"``.
@@ -229,10 +281,10 @@ def _execute(cell: SweepCell) -> Tuple[str, object, float]:
             ops_per_region=cell.ops_per_region,
             machine_cfg=cell.machine_cfg,
         )
-        return "ok", stats, time.perf_counter() - t0
+        return "ok", stats, time.perf_counter() - t0, os.getpid()
     except Exception as exc:
         payload = (type(exc).__name__, str(exc), traceback.format_exc())
-        return "error", payload, time.perf_counter() - t0
+        return "error", payload, time.perf_counter() - t0, os.getpid()
 
 
 def _failure(status: str, payload: object, attempts: int) -> CellFailure:
@@ -277,16 +329,16 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 def _run_solo(
     cell: SweepCell, timeout: Optional[float], retries: int, prior_attempts: int
-) -> Tuple[str, object, float, int]:
+) -> Tuple[str, object, float, Optional[int], int]:
     """Execute one cell in its own single-worker pool, with retries.
 
     Full isolation: if the worker dies or hangs here, this cell is the
-    culprit by construction.  Returns (status, payload, seconds, total
-    attempts including ``prior_attempts``).
+    culprit by construction.  Returns (status, payload, seconds, worker
+    pid or None, total attempts including ``prior_attempts``).
     """
     attempts = prior_attempts
-    last: Tuple[str, object, float] = (
-        "worker-lost", "cell was never executed", 0.0
+    last: Tuple[str, object, float, Optional[int]] = (
+        "worker-lost", "cell was never executed", 0.0, None
     )
     for _ in range(retries + 1):
         attempts += 1
@@ -301,6 +353,7 @@ def _run_solo(
                 "timeout",
                 f"cell exceeded the per-cell timeout of {timeout:g}s",
                 float(timeout or 0.0),
+                None,
             )
             continue
         except Exception as exc:  # worker process died mid-cell
@@ -309,11 +362,12 @@ def _run_solo(
                 "worker-lost",
                 f"worker process died while running this cell: {exc!r}",
                 0.0,
+                None,
             )
             continue
         if last[0] == "ok":
             break
-    return last[0], last[1], last[2], attempts
+    return last[0], last[1], last[2], last[3], attempts
 
 
 def _run_pool(
@@ -321,7 +375,9 @@ def _run_pool(
     jobs: int,
     timeout: Optional[float],
     retries: int,
-) -> Dict[SweepCell, Tuple[str, object, float, int]]:
+    monitor: Optional[SweepMonitor] = None,
+    index_of: Optional[Dict[SweepCell, int]] = None,
+) -> Dict[SweepCell, Tuple[str, object, float, Optional[int], int]]:
     """Fan cells over a process pool, surviving hangs and dead workers.
 
     Clean outcomes (ok / cell raised) are attributed in the parallel
@@ -332,15 +388,34 @@ def _run_pool(
     :func:`_run_solo`, where blame is unambiguous.  One poisoned cell
     therefore fails alone; its neighbours complete on the respawned path.
     """
-    outcomes: Dict[SweepCell, Tuple[str, object, float, int]] = {}
+    outcomes: Dict[SweepCell, Tuple[str, object, float, Optional[int], int]] = {}
     attempts: Dict[SweepCell, int] = {cell: 0 for cell in unique}
+
+    def _idx(cell: SweepCell) -> int:
+        return index_of.get(cell, 0) if index_of is not None else 0
+
+    def _record(
+        cell: SweepCell, status: str, payload: object, seconds: float,
+        pid: Optional[int],
+    ) -> None:
+        outcomes[cell] = (status, payload, seconds, pid, attempts[cell])
+        if monitor is not None:
+            monitor.finished(
+                cell.label(), _idx(cell), status == "ok", seconds,
+                source="run", worker=pid,
+            )
+
     batch = list(unique)
     solo: List[SweepCell] = []
     while batch:
         for cell in batch:
             attempts[cell] += 1
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(batch)))
-        futures = [(cell, pool.submit(_execute, cell)) for cell in batch]
+        futures = []
+        for cell in batch:
+            if monitor is not None:
+                monitor.started(cell.label(), _idx(cell))
+            futures.append((cell, pool.submit(_execute, cell)))
         retry_batch: List[SweepCell] = []
         broken = False
         for cell, fut in futures:
@@ -352,13 +427,13 @@ def _run_pool(
                 done_ok = False
                 if fut.done():
                     try:
-                        status, payload, seconds = fut.result(timeout=0)
+                        status, payload, seconds, pid = fut.result(timeout=0)
                         done_ok = True
                     except Exception:
                         done_ok = False
                 if done_ok:
                     if status == "ok" or attempts[cell] > retries:
-                        outcomes[cell] = (status, payload, seconds, attempts[cell])
+                        _record(cell, status, payload, seconds, pid)
                     else:
                         retry_batch.append(cell)
                 else:
@@ -366,7 +441,7 @@ def _run_pool(
                     solo.append(cell)
                 continue
             try:
-                status, payload, seconds = fut.result(timeout=timeout)
+                status, payload, seconds, pid = fut.result(timeout=timeout)
             except FuturesTimeout:
                 # `cell` hung (or is starved behind a hung neighbour):
                 # isolation will tell, with the timeout measured fairly
@@ -384,13 +459,19 @@ def _run_pool(
                 solo.append(cell)
                 continue
             if status == "ok" or attempts[cell] > retries:
-                outcomes[cell] = (status, payload, seconds, attempts[cell])
+                _record(cell, status, payload, seconds, pid)
             else:
                 retry_batch.append(cell)
         _kill_pool(pool) if broken else pool.shutdown()
         batch = retry_batch
     for cell in solo:
-        outcomes[cell] = _run_solo(cell, timeout, retries, attempts[cell])
+        if monitor is not None:
+            monitor.started(cell.label(), _idx(cell))
+        status, payload, seconds, pid, n_attempts = _run_solo(
+            cell, timeout, retries, attempts[cell]
+        )
+        attempts[cell] = n_attempts
+        _record(cell, status, payload, seconds, pid)
     return outcomes
 
 
@@ -401,16 +482,23 @@ def run_sweep(
     use_memo: bool = True,
     timeout: Optional[float] = None,
     retries: int = 0,
+    runlog: Optional[RunLog] = None,
+    progress: Optional[Progress] = None,
 ) -> SweepResult:
     """Evaluate every cell, fanning misses out over ``jobs`` processes.
 
     ``timeout`` bounds each cell's execution in seconds (enforced by
     killing the cell's worker process; forces the pool path even at
     ``jobs=1``).  ``retries`` re-runs a failing cell up to that many
-    extra times before recording its :class:`CellFailure`.
+    extra times before recording its :class:`CellFailure`.  ``runlog``
+    streams ``repro.runlog/1`` campaign telemetry; ``progress`` drives a
+    live status line — both are observation-only and never alter
+    results (their wall-clock content is exactly why ``--deterministic``
+    sweeps refuse them at the CLI).
     """
     cell_list = list(cells)
     t0 = time.perf_counter()
+    monitor = SweepMonitor(len(cell_list), runlog=runlog, progress=progress)
     results: List[Optional[CellResult]] = [None] * len(cell_list)
     memo_hits = cache_hits = 0
 
@@ -427,37 +515,54 @@ def run_sweep(
             if hit is not None:
                 results[idx] = CellResult(cell, hit, source="memo")
                 memo_hits += 1
+                if monitor.enabled:
+                    monitor.finished(cell.label(), idx, True, 0.0, source="memo")
                 continue
         if cache is not None:
             t_cell = time.perf_counter()
             disk = cache.lookup(cell.fingerprint())
             if disk is not None:
+                wall = time.perf_counter() - t_cell
                 results[idx] = CellResult(
-                    cell, disk, wall_time=time.perf_counter() - t_cell,
+                    cell, disk, wall_time=wall,
                     source="cache",
                 )
                 cache_hits += 1
                 if use_memo:
                     memo_store(cell.run_key(), disk)
+                if monitor.enabled:
+                    monitor.finished(cell.label(), idx, True, wall, source="cache")
                 continue
         pending[cell] = [idx]
     cache_misses = len(pending) if cache is not None else 0
 
     unique = list(pending)
+    first_index = {cell: pending[cell][0] for cell in unique}
     if (jobs > 1 or timeout is not None) and unique:
-        by_cell = _run_pool(unique, max(jobs, 1), timeout, retries)
+        by_cell = _run_pool(
+            unique, max(jobs, 1), timeout, retries,
+            monitor=monitor if monitor.enabled else None,
+            index_of=first_index,
+        )
         outcomes = [(cell,) + by_cell[cell] for cell in unique]
     else:
         outcomes = []
         for cell in unique:
-            status, payload, seconds = _execute(cell)
+            if monitor.enabled:
+                monitor.started(cell.label(), first_index[cell])
+            status, payload, seconds, pid = _execute(cell)
             attempts = 1
             while status != "ok" and attempts <= retries:
-                status, payload, seconds = _execute(cell)
+                status, payload, seconds, pid = _execute(cell)
                 attempts += 1
-            outcomes.append((cell, status, payload, seconds, attempts))
+            if monitor.enabled:
+                monitor.finished(
+                    cell.label(), first_index[cell], status == "ok", seconds,
+                    source="run", worker=pid,
+                )
+            outcomes.append((cell, status, payload, seconds, pid, attempts))
 
-    for cell, status, payload, seconds, attempts in outcomes:
+    for cell, status, payload, seconds, _pid, attempts in outcomes:
         if status == "ok":
             assert isinstance(payload, MachineStats)
             res = CellResult(cell, payload, wall_time=seconds, source="run")
@@ -474,13 +579,25 @@ def run_sweep(
             )
         for idx in pending[cell]:
             results[idx] = res
+        if monitor.enabled:
+            # Duplicate cells shared this execution; account them so the
+            # campaign's done-count reaches the input cell total.
+            for idx in pending[cell][1:]:
+                monitor.finished(cell.label(), idx, res.ok, 0.0, source="memo")
 
     assert all(res is not None for res in results)
-    return SweepResult(
-        cells=[res for res in results if res is not None],
+    final = [res for res in results if res is not None]
+    result = SweepResult(
+        cells=final,
         jobs=jobs,
         wall_time=time.perf_counter() - t0,
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         memo_hits=memo_hits,
     )
+    if monitor.enabled:
+        monitor.close(
+            errors=result.errors,
+            busy_time_s=sum(res.wall_time for res in final),
+        )
+    return result

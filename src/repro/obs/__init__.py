@@ -14,6 +14,7 @@ from repro.obs.export import (
     STATS_SCHEMA,
     SWEEP_SCHEMA,
     bench_summary,
+    load_sweep_json,
     stats_to_json,
     sweep_to_json,
     write_bench_summary,
@@ -26,6 +27,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     ScopedMetrics,
+    merge_buckets,
 )
 from repro.obs.perfetto import to_perfetto, write_trace
 from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer, core_track
@@ -45,6 +47,8 @@ __all__ = [
     "Tracer",
     "bench_summary",
     "core_track",
+    "load_sweep_json",
+    "merge_buckets",
     "stats_to_json",
     "sweep_to_json",
     "to_perfetto",

@@ -141,6 +141,38 @@ def write_sweep_json(path: str, sweep, deterministic: bool = False) -> Dict[str,
     return doc
 
 
+def load_sweep_json(path: str) -> Dict[str, object]:
+    """Load and normalise a ``repro.sweep/1`` document.
+
+    Deterministic exports omit the wall-clock and provenance fields
+    (see :func:`sweep_to_json`), which used to make them a different
+    shape from live exports — consumers indexing ``cell["wall_time_s"]``
+    crashed on a ``--deterministic`` artefact.  The normaliser restores
+    every omitted field with its neutral value (``source="unknown"``,
+    zero wall time, ``jobs=1``, zeroed cache counters) so both forms
+    round-trip through the same tooling.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("schema") != SWEEP_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SWEEP_SCHEMA!r}, got "
+            f"{doc.get('schema') if isinstance(doc, dict) else type(doc).__name__!r}"
+        )
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        raise ValueError(f"{path}: sweep 'cells' must be a list")
+    for cell in cells:
+        cell.setdefault("source", "unknown")
+        cell.setdefault("wall_time_s", 0.0)
+    doc.setdefault("jobs", 1)
+    doc.setdefault("wall_time_s", 0.0)
+    doc.setdefault("cache_hits", 0)
+    doc.setdefault("cache_misses", 0)
+    doc.setdefault("memo_hits", 0)
+    return doc
+
+
 def bench_summary(
     ops_per_thread: int = 8,
     model: str = "txn",

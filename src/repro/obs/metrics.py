@@ -129,6 +129,41 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def export_buckets(self) -> Dict[str, int]:
+        """Fixed log2-spaced bucket counts, mergeable across histograms.
+
+        Bucket ``"0"`` counts non-positive samples; bucket ``"2^e"``
+        counts samples in ``(2^(e-1), 2^e]`` (so ``2^0`` covers the
+        half-open ``(0, 1]``).  The boundaries are a property of the
+        scheme, not of the data, so exports from different runs — or
+        different workers of one sweep — merge by summing counts per key
+        (:func:`merge_buckets`).  Export is observation-only: it never
+        sorts or mutates the sample list, so summary statistics computed
+        before and after are identical.
+        """
+        buckets: Dict[str, int] = {}
+        for value in self._values:
+            if value <= 0:
+                key = "0"
+            else:
+                key = f"2^{max(0, math.ceil(math.log2(value)))}"
+            buckets[key] = buckets.get(key, 0) + 1
+        return {key: buckets[key] for key in sorted(buckets, key=_bucket_rank)}
+
+
+def _bucket_rank(key: str) -> float:
+    """Sort key for bucket labels: ``"0"`` first, then by exponent."""
+    return -math.inf if key == "0" else float(key[2:])
+
+
+def merge_buckets(*bucket_maps: Dict[str, int]) -> Dict[str, int]:
+    """Sum any number of :meth:`Histogram.export_buckets` maps."""
+    merged: Dict[str, int] = {}
+    for bucket_map in bucket_maps:
+        for key, count in bucket_map.items():
+            merged[key] = merged.get(key, 0) + count
+    return {key: merged[key] for key in sorted(merged, key=_bucket_rank)}
+
 
 Metric = Union[Counter, Gauge, Histogram]
 

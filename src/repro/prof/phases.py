@@ -1,0 +1,208 @@
+"""Deterministic simulated-cycle attribution (``repro.prof`` part one).
+
+The timing simulator already *knows* where every cycle goes — dispatch
+costs, exposed miss latencies, persist-ordering stalls, lock waits — it
+just never adds them up.  :class:`PhaseProfiler` is the accumulator the
+instrumentation sites feed: every advance of a core's local clock is
+bucketed into one of five phases,
+
+* ``core-issue``   — front-end dispatch, compute, lock RMW cost, and any
+  residual pipeline time not claimed by a more specific phase;
+* ``cache``        — exposed load-miss latency served by the caches or
+  DRAM (the part out-of-order execution could not hide);
+* ``pm-controller``— exposed latency of reads served by the PM media;
+* ``persist-hw``   — waits imposed by persist-ordering hardware: fences,
+  drains, full persist structures (the ``stall_*`` taxonomy of Fig. 8);
+* ``idle``         — lock-arbitration waits (the core is parked, not
+  working).
+
+Per core, the five buckets sum *exactly* to that core's final local
+clock: :meth:`begin_op`/:meth:`end_op` bracket every dispatched micro-op
+and charge the unclaimed remainder to ``core-issue``, so nothing is ever
+lost or double-counted (``tests/prof/test_phases.py`` pins this
+invariant).  Shared-resource activity that is not on any core's dispatch
+timeline — PM media busy time, queue residency, write-backs — goes into
+the separate :attr:`resources` map instead, so the timeline identity is
+preserved.
+
+Like the event tracer, the profiler is observation-only by construction:
+no method returns a time, and the default :data:`NULL_PROF` makes every
+site one attribute check, so simulated results are bit-identical with
+profiling on or off.  Setting the :data:`PROF_PHASES_ENV` environment
+variable attaches a live profiler to every :class:`~repro.sim.machine.
+Machine` built without one — the switch the bit-invisibility tests flip.
+
+This module must stay import-free of the simulator (the simulator
+imports *it*).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: environment variable: when set (to anything non-empty), machines built
+#: without an explicit profiler attach a live :class:`PhaseProfiler`.
+PROF_PHASES_ENV = "REPRO_PROF_PHASES"
+
+#: the closed phase taxonomy, in rendering order.
+PHASES = ("core-issue", "cache", "pm-controller", "persist-hw", "idle")
+
+#: stall buckets (``CoreStats.stall_*`` names) -> phase.
+STALL_PHASE = {
+    "stall_fence": "persist-hw",
+    "stall_queue_full": "persist-hw",
+    "stall_drain": "persist-hw",
+    "stall_lock": "idle",
+}
+
+
+def _empty_buckets() -> Dict[str, float]:
+    return {phase: 0.0 for phase in PHASES}
+
+
+class PhaseProfiler:
+    """Accumulates per-core phase cycles and shared-resource activity."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        #: tid -> phase -> simulated cycles.
+        self.core_phases: Dict[int, Dict[str, float]] = {}
+        #: shared-resource accounting (busy cycles, residencies, counts);
+        #: deliberately off the core timeline.
+        self.resources: Dict[str, float] = {}
+        self._snapshots: Dict[int, Dict[str, float]] = {}
+
+    # -- core-timeline charging -------------------------------------------
+
+    def charge(self, tid: int, phase: str, amount: float) -> None:
+        """Attribute ``amount`` cycles of core ``tid``'s timeline to
+        ``phase``.  Non-positive amounts are ignored (no-wait fast path)."""
+        if amount <= 0.0:
+            return
+        buckets = self.core_phases.get(tid)
+        if buckets is None:
+            buckets = self.core_phases[tid] = _empty_buckets()
+        buckets[phase] += amount
+
+    def begin_op(self, tid: int) -> None:
+        """Bracket start: snapshot ``tid``'s buckets so :meth:`end_op`
+        can compute the op's unclaimed remainder (and :meth:`abort_op`
+        can roll a cancelled dispatch back)."""
+        buckets = self.core_phases.get(tid)
+        if buckets is None:
+            buckets = self.core_phases[tid] = _empty_buckets()
+        self._snapshots[tid] = dict(buckets)
+
+    def abort_op(self, tid: int) -> None:
+        """The op did not dispatch after all (lock parking): restore the
+        snapshot so the retry cannot double-charge."""
+        snap = self._snapshots.pop(tid, None)
+        if snap is not None:
+            self.core_phases[tid] = snap
+
+    def end_op(self, tid: int, total: float) -> None:
+        """Bracket end: the op advanced the core's clock by ``total``;
+        whatever no site claimed is front-end/pipeline time."""
+        snap = self._snapshots.pop(tid, None)
+        buckets = self.core_phases.get(tid)
+        if buckets is None:
+            buckets = self.core_phases[tid] = _empty_buckets()
+        charged = sum(buckets.values())
+        if snap is not None:
+            charged -= sum(snap.values())
+        rest = total - charged
+        if rest > 0.0:
+            buckets["core-issue"] += rest
+
+    # -- shared resources --------------------------------------------------
+
+    def charge_resource(self, name: str, amount: float = 1.0) -> None:
+        """Accumulate off-timeline activity (media busy cycles, queue
+        residency, write-back counts) under ``name``."""
+        self.resources[name] = self.resources.get(name, 0.0) + amount
+
+    # -- reporting ---------------------------------------------------------
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Phase cycles summed over every core, all phases present."""
+        out = _empty_buckets()
+        for buckets in self.core_phases.values():
+            for phase, amount in buckets.items():
+                out[phase] += amount
+        return out
+
+    def core_total(self, tid: int) -> float:
+        """All cycles attributed to core ``tid`` (== its local clock)."""
+        return sum(self.core_phases.get(tid, {}).values())
+
+    def to_json(self) -> Dict[str, object]:
+        """The ``simulated`` section of a ``repro.prof/1`` document."""
+        totals = self.phase_totals()
+        grand = sum(totals.values())
+        per_core: List[Dict[str, float]] = [
+            {phase: round(self.core_phases[tid][phase], 6) for phase in PHASES}
+            for tid in sorted(self.core_phases)
+        ]
+        return {
+            "phases": {phase: round(totals[phase], 6) for phase in PHASES},
+            "total_cycles": round(grand, 6),
+            "phase_pct": {
+                phase: round(100.0 * totals[phase] / grand, 3) if grand else 0.0
+                for phase in PHASES
+            },
+            "per_core": per_core,
+            "resources": {
+                name: round(value, 6) for name, value in sorted(self.resources.items())
+            },
+        }
+
+
+class NullPhaseProfiler:
+    """Disabled profiler: every site is one attribute check, nothing is
+    recorded, and simulated timing cannot be perturbed."""
+
+    enabled = False
+    core_phases: Dict[int, Dict[str, float]] = {}
+    resources: Dict[str, float] = {}
+
+    def charge(self, tid: int, phase: str, amount: float) -> None:
+        pass
+
+    def begin_op(self, tid: int) -> None:
+        pass
+
+    def abort_op(self, tid: int) -> None:
+        pass
+
+    def end_op(self, tid: int, total: float) -> None:
+        pass
+
+    def charge_resource(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def phase_totals(self) -> Dict[str, float]:
+        return _empty_buckets()
+
+    def core_total(self, tid: int) -> float:
+        return 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        return {}
+
+
+#: process-wide disabled profiler; the default everywhere.
+NULL_PROF = NullPhaseProfiler()
+
+
+def active_profiler(explicit: Optional["PhaseProfiler"] = None):
+    """Resolve the profiler a machine should use: an explicit one wins;
+    otherwise :data:`PROF_PHASES_ENV` attaches a fresh live profiler,
+    and the default is the no-op :data:`NULL_PROF`."""
+    import os
+
+    if explicit is not None and explicit is not NULL_PROF:
+        return explicit
+    if os.environ.get(PROF_PHASES_ENV):
+        return PhaseProfiler()
+    return explicit if explicit is not None else NULL_PROF

@@ -1,0 +1,264 @@
+"""Wall-clock hot-path profiler behind ``python -m repro profile``.
+
+The phase profiler (:mod:`repro.prof.phases`) explains where *simulated*
+cycles go; this module explains where the *simulator's own* wall time
+goes — the question the ROADMAP-item-1 engine rewrite needs answered.
+:func:`profile_cell` runs one (benchmark, design, model) cell under
+:mod:`cProfile` with a live phase profiler attached, then maps every
+profiled function to a simulator subsystem through a curated
+path-prefix table, so the report reads "the sim core burns 61% of the
+wall time", not "``_memory_access`` has a large tottime".
+
+Both attributions are combined into one ``repro.prof/1`` document:
+
+* ``wallclock`` — total seconds, per-subsystem self time, the hot
+  function list, and ``attributed_pct`` (share of wall time mapped to a
+  *named* subsystem — the CI perf-smoke job requires >= 95%);
+* ``simulated`` — the phase profiler's cycle attribution for the same
+  run (:meth:`~repro.prof.phases.PhaseProfiler.to_json`).
+
+The document is plain rounded floats, so dump -> load -> dump is
+byte-stable (``tests/prof/test_wallclock.py`` pins the round-trip).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+from typing import Dict, List, Optional, Tuple
+
+from repro.prof.phases import PHASES, PhaseProfiler
+
+PROF_SCHEMA = "repro.prof/1"
+
+#: ordered path-prefix -> subsystem map for files under ``repro/``.
+#: First match wins, so specific prefixes precede their parents.
+_REPRO_SUBSYSTEMS: Tuple[Tuple[str, str], ...] = (
+    ("sim/cache", "cache-model"),
+    ("sim/memory", "pm-model"),
+    ("sim/", "sim-core"),
+    ("persistency/", "persist-model"),
+    ("core/", "persist-model"),
+    ("workloads", "workload-gen"),
+    ("lang/", "lang-runtime"),
+    ("pmem/", "pmem-alloc"),
+    ("harness/", "harness"),
+    ("obs/", "observability"),
+    ("chaos/", "chaos"),
+    ("faults/", "chaos"),
+    ("analysis/", "analysis"),
+    ("prof/", "profiler"),
+    ("__main__", "cli"),
+    ("__init__", "cli"),
+)
+
+#: rendering order of every subsystem the mapper can produce.
+SUBSYSTEM_ORDER = (
+    "sim-core", "cache-model", "pm-model", "persist-model", "workload-gen",
+    "lang-runtime", "pmem-alloc", "harness", "observability", "chaos",
+    "analysis", "profiler", "cli", "stdlib", "builtins", "other",
+)
+
+
+def subsystem_of(filename: str) -> str:
+    """Map a profiled code object's file to a simulator subsystem.
+
+    Anything under ``repro/`` goes through the curated prefix table;
+    interpreter built-ins and stdlib frames get their own named buckets
+    so ``other`` is reserved for genuinely unmapped code.
+    """
+    if filename.startswith("~") or filename.startswith("<"):
+        return "builtins"
+    norm = filename.replace("\\", "/")
+    if "/repro/" in norm:
+        rel = norm.rsplit("/repro/", 1)[1]
+        for prefix, subsystem in _REPRO_SUBSYSTEMS:
+            if rel.startswith(prefix):
+                return subsystem
+        return "other"
+    return "stdlib"
+
+
+def _short_file(filename: str) -> str:
+    norm = filename.replace("\\", "/")
+    if "/repro/" in norm:
+        return "repro/" + norm.rsplit("/repro/", 1)[1]
+    return norm.rsplit("/", 1)[-1]
+
+
+def profile_cell(
+    benchmark: str,
+    design: str,
+    model: str = "txn",
+    ops_per_thread: int = 48,
+    sort: str = "tottime",
+    top: int = 15,
+) -> Dict[str, object]:
+    """Profile one cell end to end; returns a ``repro.prof/1`` document.
+
+    The run covers trace generation *and* simulation (both are on the
+    ``python -m repro`` hot path) and bypasses the run-cell memo — a
+    memoised cell would profile a dictionary lookup.
+    """
+    # Imported lazily: the harness imports the simulator, which imports
+    # repro.prof.phases — a module-level import here would be circular.
+    from repro.harness.experiment import default_config
+    from repro.sim.machine import Machine
+    from repro.workloads import WORKLOADS, generate_for_design
+
+    if sort not in ("tottime", "cumtime"):
+        raise ValueError(f"sort must be 'tottime' or 'cumtime', got {sort!r}")
+    phases = PhaseProfiler()
+    profile = cProfile.Profile()
+    profile.enable()
+    run = generate_for_design(
+        WORKLOADS[benchmark], default_config(ops_per_thread), design, model
+    )
+    stats = Machine(design, profiler=phases).run(run.program)
+    profile.disable()
+
+    raw = pstats.Stats(profile).stats  # type: ignore[attr-defined]
+    sub_self: Dict[str, float] = {}
+    sub_calls: Dict[str, int] = {}
+    functions: List[Dict[str, object]] = []
+    total = 0.0
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in raw.items():
+        total += tt
+        subsystem = subsystem_of(filename)
+        sub_self[subsystem] = sub_self.get(subsystem, 0.0) + tt
+        sub_calls[subsystem] = sub_calls.get(subsystem, 0) + nc
+        functions.append({
+            "function": func,
+            "file": _short_file(filename),
+            "line": line,
+            "subsystem": subsystem,
+            "calls": nc,
+            "self_s": round(tt, 6),
+            "cum_s": round(ct, 6),
+        })
+    key = "self_s" if sort == "tottime" else "cum_s"
+    functions.sort(key=lambda f: (-float(f[key]), f["file"], f["function"]))
+    attributed = total - sub_self.get("other", 0.0)
+    doc: Dict[str, object] = {
+        "schema": PROF_SCHEMA,
+        "kind": "profile",
+        "benchmark": benchmark,
+        "design": design,
+        "model": model,
+        "ops_per_thread": ops_per_thread,
+        "cycles": stats.cycles,
+        "wallclock": {
+            "total_s": round(total, 6),
+            "attributed_pct": round(100.0 * attributed / total, 3) if total else 100.0,
+            "sort": sort,
+            "subsystems": {
+                name: {
+                    "self_s": round(sub_self[name], 6),
+                    "pct": round(100.0 * sub_self[name] / total, 3) if total else 0.0,
+                    "calls": sub_calls[name],
+                }
+                for name in sub_self
+            },
+            "hot_functions": functions[:top],
+        },
+        "simulated": phases.to_json(),
+    }
+    return doc
+
+
+def write_profile_doc(path: str, doc: Dict[str, object]) -> None:
+    from repro.obs.export import dump_json
+
+    dump_json(path, doc)
+
+
+def load_profile_doc(path: str) -> Dict[str, object]:
+    """Load and validate a ``repro.prof/1`` document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("schema") != PROF_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {PROF_SCHEMA!r}, "
+            f"got {doc.get('schema') if isinstance(doc, dict) else type(doc).__name__!r}"
+        )
+    return doc
+
+
+def render_profile(doc: Dict[str, object]) -> str:
+    """Human-readable report: subsystem table, phase table, hot list."""
+    from repro.harness.report import render_table
+
+    wall = doc["wallclock"]
+    sim = doc["simulated"]
+    title = (
+        f"profile: {doc['benchmark']} on {doc['design']} ({doc['model']}, "
+        f"ops={doc['ops_per_thread']})"
+    )
+    sub_rows = []
+    subsystems: Dict[str, Dict[str, object]] = wall["subsystems"]  # type: ignore[assignment]
+    ordered = [s for s in SUBSYSTEM_ORDER if s in subsystems]
+    ordered += sorted(s for s in subsystems if s not in SUBSYSTEM_ORDER)
+    for name in sorted(ordered, key=lambda s: -float(subsystems[s]["self_s"])):
+        entry = subsystems[name]
+        sub_rows.append([
+            name, f"{entry['self_s']:.4f}s", f"{entry['pct']:.1f}%",
+            str(entry["calls"]),
+        ])
+    out = [render_table(
+        f"{title} — wall {wall['total_s']:.3f}s, "
+        f"{wall['attributed_pct']:.1f}% attributed",
+        ["subsystem", "self", "share", "calls"], sub_rows,
+    )]
+    phase_rows = [
+        [phase, f"{sim['phases'][phase]:.0f}", f"{sim['phase_pct'][phase]:.1f}%"]
+        for phase in PHASES
+    ]
+    out.append(render_table(
+        f"simulated-cycle attribution ({sim['total_cycles']:.0f} core cycles)",
+        ["phase", "cycles", "share"], phase_rows,
+    ))
+    out.append(f"hot functions (by {wall['sort']}):")
+    for entry in wall["hot_functions"]:  # type: ignore[union-attr]
+        out.append(
+            f"  {entry['self_s']:8.4f}s self {entry['cum_s']:8.4f}s cum "
+            f"{entry['calls']:>9} calls  {entry['file']}:{entry['line']} "
+            f"{entry['function']} [{entry['subsystem']}]"
+        )
+    return "\n".join(out)
+
+
+def compare_profiles(
+    baseline: Dict[str, object], current: Dict[str, object]
+) -> Tuple[str, Optional[float]]:
+    """Diff two ``repro.prof/1`` documents.
+
+    Returns the rendered comparison and the total wall-time change in
+    percent (None when the baseline recorded no measurable time).
+    """
+    base_wall = baseline["wallclock"]
+    cur_wall = current["wallclock"]
+    base_total = float(base_wall["total_s"])  # type: ignore[index]
+    cur_total = float(cur_wall["total_s"])  # type: ignore[index]
+    delta_pct = (
+        100.0 * (cur_total - base_total) / base_total if base_total > 0 else None
+    )
+    lines = [
+        f"baseline {baseline['benchmark']}/{baseline['design']} "
+        f"{base_total:.4f}s -> current {cur_total:.4f}s"
+        + (f" ({delta_pct:+.1f}%)" if delta_pct is not None else ""),
+    ]
+    base_subs: Dict[str, Dict[str, object]] = base_wall["subsystems"]  # type: ignore[index]
+    cur_subs: Dict[str, Dict[str, object]] = cur_wall["subsystems"]  # type: ignore[index]
+    names = [s for s in SUBSYSTEM_ORDER if s in base_subs or s in cur_subs]
+    names += sorted(
+        s for s in set(base_subs) | set(cur_subs) if s not in SUBSYSTEM_ORDER
+    )
+    for name in names:
+        b = float(base_subs.get(name, {}).get("self_s", 0.0))
+        c = float(cur_subs.get(name, {}).get("self_s", 0.0))
+        if b == 0.0 and c == 0.0:
+            continue
+        rel = f"{100.0 * (c - b) / b:+.1f}%" if b > 0 else "new"
+        lines.append(f"  {name:14s} {b:8.4f}s -> {c:8.4f}s  {rel}")
+    return "\n".join(lines), delta_pct

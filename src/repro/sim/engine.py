@@ -14,6 +14,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from repro.obs.tracer import Tracer
+from repro.prof.phases import PhaseProfiler
 
 
 class BandwidthResource:
@@ -78,6 +79,8 @@ class SlottedQueue:
     #: instrumentation is opt-in; the class default keeps the hot path to
     #: one attribute check when no tracer was attached.
     _tracer: Optional[Tracer] = None
+    #: phase profiling is likewise opt-in (see :meth:`profile`).
+    _profiler: Optional[PhaseProfiler] = None
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -91,6 +94,12 @@ class SlottedQueue:
         self._tracer = tracer
         self._track = track
         self._name = name
+
+    def profile(self, profiler: PhaseProfiler, name: str) -> None:
+        """Attach a phase profiler: each admission charges the entry's
+        slot-holding time to the ``<name>/residency_cycles`` resource."""
+        self._profiler = profiler
+        self._prof_name = name
 
     def occupancy_at(self, t: float) -> int:
         return sum(1 for d in self._departures if d > t)
@@ -111,6 +120,12 @@ class SlottedQueue:
             # earliest_admission guaranteed a free slot at `entry`.
             heapq.heappop(self._departures)
         heapq.heappush(self._departures, max(departure, entry))
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            profiler.charge_resource(
+                self._prof_name + "/residency_cycles", max(departure, entry) - entry
+            )
+            profiler.charge_resource(self._prof_name + "/admissions")
         tracer = self._tracer
         if tracer is not None and tracer.enabled:
             occ = len(self._departures)
@@ -135,6 +150,8 @@ class InOrderQueue:
 
     #: see :meth:`SlottedQueue.instrument`; default keeps the path free.
     _tracer: Optional[Tracer] = None
+    #: see :meth:`SlottedQueue.profile`; default keeps the path free.
+    _profiler: Optional[PhaseProfiler] = None
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -152,6 +169,12 @@ class InOrderQueue:
         self._track = track
         self._name = name
 
+    def profile(self, profiler: PhaseProfiler, name: str) -> None:
+        """Attach a phase profiler: each push charges the entry's queue
+        residency to the ``<name>/residency_cycles`` resource."""
+        self._profiler = profiler
+        self._prof_name = name
+
     def earliest_slot(self, t: float) -> float:
         """When a new entry could be inserted (full queue delays insert)."""
         self._drain(t)
@@ -168,6 +191,12 @@ class InOrderQueue:
         retire = max(ready, self._last_retire, entry_t)
         self._retire_times.append(retire)
         self._last_retire = retire
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            profiler.charge_resource(
+                self._prof_name + "/residency_cycles", retire - entry_t
+            )
+            profiler.charge_resource(self._prof_name + "/admissions")
         tracer = self._tracer
         if tracer is not None and tracer.enabled:
             occ = len(self._retire_times)

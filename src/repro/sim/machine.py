@@ -16,6 +16,7 @@ from repro.core.ops import OpKind, Program
 from repro.core.strandweaver import NoPersistQueueDomain, StrandWeaverDomain
 from repro.obs.tracer import NULL_TRACER, Tracer, core_track
 from repro.persistency.base import PersistDomain
+from repro.prof.phases import PhaseProfiler, active_profiler
 from repro.persistency.hops import HopsDomain
 from repro.persistency.intel_x86 import IntelX86Domain
 from repro.persistency.nonatomic import NonAtomicDomain
@@ -54,12 +55,17 @@ class Machine:
         design: str,
         cfg: MachineConfig = TABLE_I,
         tracer: Tracer = NULL_TRACER,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         if design not in DESIGNS:
             raise ValueError(f"unknown design {design!r}; choose from {sorted(DESIGNS)}")
         self.design = design
         self.cfg = cfg
         self.tracer = tracer
+        #: simulated-cycle phase attribution (repro.prof); resolves to the
+        #: no-op NULL_PROF unless a profiler was passed explicitly or the
+        #: REPRO_PROF_PHASES environment variable is set.
+        self.profiler = active_profiler(profiler)
 
     def run(
         self, program: Program, warm: bool = True, fault_plan=None,
@@ -96,9 +102,12 @@ class Machine:
                 from repro.faults.model import MediaFaultModel
 
                 media_faults = MediaFaultModel(media_cfg)
-        pm = PMController(self.cfg.pm, tracer, faults=media_faults)
+        profiler = self.profiler
+        pm = PMController(self.cfg.pm, tracer, faults=media_faults,
+                          profiler=profiler)
         dram = DRAMController()
         hierarchy = CacheHierarchy(self.cfg, pm, dram)
+        hierarchy.profiler = profiler
         if warm:
             touched = set()
             for trace in program.threads:
@@ -132,7 +141,7 @@ class Machine:
             kwargs = {} if tracker is None else {"durability": tracker}
             domain = domain_cls(
                 trace.tid, self.cfg, hierarchy, pm, core_stats, store_queue,
-                tracer=tracer, **kwargs,
+                tracer=tracer, profiler=profiler, **kwargs,
             )
             domains.append(domain)
             cores.append(

@@ -1,0 +1,105 @@
+"""Simulated-cycle phase attribution: exactness and bit-invisibility."""
+
+import pytest
+
+from repro.harness.experiment import ALL_DESIGNS, clear_cache, default_config
+from repro.harness.figures import figure7
+from repro.prof.phases import (
+    NULL_PROF,
+    PHASES,
+    PROF_PHASES_ENV,
+    PhaseProfiler,
+    active_profiler,
+)
+from repro.sim.machine import Machine
+from repro.workloads import WORKLOADS, generate_for_design
+
+
+def _run_profiled(design, benchmark="queue", ops=6):
+    cfg = default_config(ops)
+    run = generate_for_design(WORKLOADS[benchmark], cfg, design, "txn")
+    prof = PhaseProfiler()
+    stats = Machine(design, profiler=prof).run(run.program)
+    return prof, stats
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS)
+def test_phase_sum_matches_core_clock(design):
+    """Every simulated cycle lands in exactly one phase bucket: the
+    per-core phase sum equals the core's cycle count (mod int rounding
+    of the stats field)."""
+    prof, stats = _run_profiled(design)
+    for tid, core in enumerate(stats.per_core):
+        total = prof.core_total(tid)
+        assert abs(total - core.cycles) <= 1, (
+            f"{design} core {tid}: phases sum to {total}, core ran {core.cycles}"
+        )
+
+
+def test_phase_taxonomy_is_closed():
+    prof, _ = _run_profiled("strandweaver")
+    doc = prof.to_json()
+    assert set(doc["phases"]) == set(PHASES)
+    assert doc["total_cycles"] == sum(doc["phases"].values())
+    assert abs(sum(doc["phase_pct"].values()) - 100.0) < 0.01
+    for core in doc["per_core"]:
+        assert set(core) == set(PHASES)
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS)
+def test_profiler_is_bit_invisible_per_design(design):
+    """Identical stats with and without a live profiler attached."""
+    cfg = default_config(6)
+    run = generate_for_design(WORKLOADS["hashmap"], cfg, design, "txn")
+    plain = Machine(design).run(run.program)
+    profiled = Machine(design, profiler=PhaseProfiler()).run(run.program)
+    assert [vars(c) for c in plain.per_core] == [vars(c) for c in profiled.per_core]
+
+
+def test_figure7_identical_with_env_profiler(monkeypatch):
+    """Figure 7 — the tier-1 artefact — is byte-identical whether or not
+    REPRO_PROF_PHASES attaches a profiler to every machine."""
+    monkeypatch.delenv(PROF_PHASES_ENV, raising=False)
+    clear_cache()
+    baseline = figure7(ops_per_thread=4).to_json()
+    monkeypatch.setenv(PROF_PHASES_ENV, "1")
+    clear_cache()
+    profiled = figure7(ops_per_thread=4).to_json()
+    clear_cache()
+    assert baseline == profiled
+
+
+def test_active_profiler_resolution(monkeypatch):
+    monkeypatch.delenv(PROF_PHASES_ENV, raising=False)
+    assert active_profiler(None) is NULL_PROF
+    explicit = PhaseProfiler()
+    assert active_profiler(explicit) is explicit
+    monkeypatch.setenv(PROF_PHASES_ENV, "1")
+    attached = active_profiler(None)
+    assert attached is not NULL_PROF and attached.enabled
+    # an explicit profiler still wins over the environment
+    assert active_profiler(explicit) is explicit
+
+
+def test_null_profiler_is_inert():
+    assert not NULL_PROF.enabled
+    NULL_PROF.charge(0, "idle", 5)
+    NULL_PROF.begin_op(0)
+    NULL_PROF.end_op(0, 3)
+    NULL_PROF.abort_op(0)
+    NULL_PROF.charge_resource("pm/writes")
+    assert NULL_PROF.to_json() == {}
+    assert NULL_PROF.core_phases == {} and NULL_PROF.resources == {}
+
+
+def test_abort_op_rolls_back_bracket():
+    prof = PhaseProfiler()
+    prof.begin_op(0)
+    prof.charge(0, "persist-hw", 10)
+    prof.abort_op(0)
+    assert prof.core_total(0) == 0
+    prof.begin_op(0)
+    prof.charge(0, "cache", 4)
+    prof.end_op(0, 10)
+    assert prof.core_total(0) == 10
+    assert prof.phase_totals()["core-issue"] == 6
