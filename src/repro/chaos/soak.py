@@ -30,8 +30,8 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.harness import CrashHarness
 from repro.chaos.plan import CrashSchedule, RecoveryCrash
@@ -126,6 +126,47 @@ class SoakCase:
     def ok(self) -> bool:
         return self.violation is None or self.expected
 
+    def to_json(self) -> Dict[str, object]:
+        """Lossless wire form (campaign workers ship cases as JSON)."""
+        doc: Dict[str, object] = {
+            "index": self.index,
+            "seed": self.seed,
+            "design": self.design,
+            "plan": self.plan_desc,
+            "violation": self.violation,
+            "expected": self.expected,
+            "recovery_passes": self.recovery_passes,
+            "media_faults": self.media_faults,
+            "shrunk": None if self.shrunk is None else asdict(self.shrunk),
+        }
+        return doc
+
+    @staticmethod
+    def from_json(doc: Dict[str, object]) -> "SoakCase":
+        shrunk_doc = doc.get("shrunk")
+        shrunk = None
+        if isinstance(shrunk_doc, dict):
+            shrunk = ShrinkResult(
+                kind=str(shrunk_doc["kind"]),
+                original_at=float(shrunk_doc["original_at"]),
+                minimal_at=float(shrunk_doc["minimal_at"]),
+                probes=int(shrunk_doc["probes"]),
+                violation=str(shrunk_doc["violation"]),
+                reproducible=bool(shrunk_doc.get("reproducible", True)),
+            )
+        media = doc.get("media_faults")
+        return SoakCase(
+            index=int(doc["index"]),
+            seed=int(doc["seed"]),
+            design=str(doc["design"]),
+            plan_desc=str(doc["plan"]),
+            violation=None if doc.get("violation") is None else str(doc["violation"]),
+            expected=bool(doc.get("expected", False)),
+            recovery_passes=int(doc.get("recovery_passes", 1)),
+            media_faults=media if isinstance(media, dict) else None,
+            shrunk=shrunk,
+        )
+
 
 @dataclass
 class SoakResult:
@@ -136,6 +177,9 @@ class SoakResult:
     n_seeds: int
     media: bool
     designs: List[str]
+    #: whether the campaign shrank failures — echoed into replay
+    #: commands, deliberately absent from ``summary()`` (schema-stable).
+    shrink: bool = True
     cases: List[SoakCase] = field(default_factory=list)
 
     @property
@@ -151,12 +195,22 @@ class SoakResult:
         return not self.failures
 
     def replay_command(self, case: SoakCase) -> str:
+        """The one-liner that reproduces ``case`` in isolation.
+
+        Must echo every campaign flag that feeds case *generation* or
+        reporting: a campaign run with ``--no-media`` draws a different
+        plan for the same seed, and one run with ``--no-shrink`` never
+        searched for a minimum — replaying without the same flags used
+        to chase a different failure than the one reported.
+        """
         cmd = (
             f"python -m repro soak {self.workload} --design {case.design} "
             f"--seeds 1 --seed {case.seed}"
         )
         if not self.media:
             cmd += " --no-media"
+        if not self.shrink:
+            cmd += " --no-shrink"
         return cmd
 
     def summary(self) -> Dict[str, object]:
@@ -216,6 +270,75 @@ class SoakResult:
         return "\n".join(lines)
 
 
+def design_pool_for(designs: Optional[Sequence[str]]) -> List[str]:
+    """Canonical rotation pool: pinned list, or every design sorted."""
+    return list(designs) if designs else sorted(DESIGNS)
+
+
+def run_soak_case(
+    workload: str,
+    case_seed: int,
+    index: int,
+    design_pool: Sequence[str],
+    media: bool = True,
+    shrink: bool = True,
+    cfg: Optional[WorkloadConfig] = None,
+    machine_cfg: MachineConfig = TABLE_I,
+    harnesses: Optional[Dict[str, CrashHarness]] = None,
+) -> SoakCase:
+    """Run exactly one soak case — the unit the campaign service shards.
+
+    A pure function of ``(workload, case_seed, index, design_pool,
+    media, machine knobs)``: which process runs it, and which cases ran
+    before it, cannot change the outcome.  ``harnesses`` is an optional
+    per-process cache of baseline runs (one per design) so a worker
+    executing a seed range pays for each design's baseline once.
+    """
+    design = pick_design(case_seed, design_pool)
+    schedule = sample_case_schedule(case_seed, media=media)
+    harness = None if harnesses is None else harnesses.get(design)
+    if harness is None:
+        harness = CrashHarness(workload, design, cfg=cfg, machine_cfg=machine_cfg)
+        if harnesses is not None:
+            harnesses[design] = harness
+    sample = harness.crash_schedule(schedule, index=index)
+    case = SoakCase(
+        index=index,
+        seed=case_seed,
+        design=design,
+        plan_desc=sample.plan.describe(),
+        violation=sample.violation,
+        expected=bool(sample.violation) and design == "non-atomic",
+        recovery_passes=sample.recovery_passes,
+        media_faults=sample.media_faults,
+    )
+    if not case.ok and shrink:
+        case.shrunk = shrink_crash_point(harness, sample.plan)
+    return case
+
+
+def shard_seed_ranges(
+    n_cases: int, n_shards: int, start: int = 0
+) -> List[Tuple[int, int]]:
+    """Split case indices ``[start, start + n_cases)`` into contiguous
+    ``(first_index, count)`` ranges, at most ``n_shards`` of them, sizes
+    differing by at most one.  The campaign service hands each range to
+    a worker; because :func:`run_soak_case` is index-pure, any sharding
+    reassembles (sorted by index) into the serial campaign exactly.
+    """
+    if n_cases <= 0:
+        return []
+    n_shards = max(1, min(n_shards, n_cases))
+    base, extra = divmod(n_cases, n_shards)
+    ranges: List[Tuple[int, int]] = []
+    first = start
+    for shard in range(n_shards):
+        count = base + (1 if shard < extra else 0)
+        ranges.append((first, count))
+        first += count
+    return ranges
+
+
 def run_soak(
     workload: str,
     seeds: int = 50,
@@ -238,13 +361,14 @@ def run_soak(
     drives a live status line (see :mod:`repro.prof.runlog`) — both are
     observation-only.
     """
-    design_pool = list(designs) if designs else sorted(DESIGNS)
+    design_pool = design_pool_for(designs)
     result = SoakResult(
         workload=workload,
         seed=seed,
         n_seeds=seeds,
         media=media,
         designs=design_pool,
+        shrink=shrink,
     )
     harnesses: Dict[str, CrashHarness] = {}
     busy = 0.0
@@ -255,26 +379,11 @@ def run_soak(
         t_case = time.perf_counter()
         if runlog is not None:
             runlog.cell_start(label, i)
-        schedule = sample_case_schedule(case_seed, media=media)
-        harness = harnesses.get(design)
-        if harness is None:
-            harness = CrashHarness(
-                workload, design, cfg=cfg, machine_cfg=machine_cfg
-            )
-            harnesses[design] = harness
-        sample = harness.crash_schedule(schedule, index=i)
-        case = SoakCase(
-            index=i,
-            seed=case_seed,
-            design=design,
-            plan_desc=sample.plan.describe(),
-            violation=sample.violation,
-            expected=bool(sample.violation) and design == "non-atomic",
-            recovery_passes=sample.recovery_passes,
-            media_faults=sample.media_faults,
+        case = run_soak_case(
+            workload, case_seed, i, design_pool,
+            media=media, shrink=shrink, cfg=cfg, machine_cfg=machine_cfg,
+            harnesses=harnesses,
         )
-        if not case.ok and shrink:
-            case.shrunk = shrink_crash_point(harness, sample.plan)
         result.cases.append(case)
         case_wall = time.perf_counter() - t_case
         busy += case_wall

@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Dict, Optional
 
 from repro.obs.export import machine_stats_from_doc, machine_stats_to_doc
@@ -66,14 +67,144 @@ def fingerprint_key(fingerprint: Dict[str, object]) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+#: a held lock file older than this is presumed abandoned even when its
+#: owner PID cannot be proven dead (PID reuse, containers, NFS).
+LOCK_STALE_S = 60.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; unknown errors count as alive."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return True
+    return True
+
+
+class CacheLock:
+    """Cross-process advisory lock on one cache entry, stale-tolerant.
+
+    Two concurrent campaigns storing the same content-addressed entry
+    must neither tear the file (the atomic rename already guarantees
+    that) nor deadlock behind a lock whose owner was ``kill -9``'d.  The
+    lock is a ``<entry>.lock`` file created with ``O_CREAT|O_EXCL``
+    containing the owner's PID; a contender that finds the file checks
+    the owner — dead PID, or an mtime older than ``stale_s`` — and
+    *breaks* a stale lock instead of waiting on it.  ``acquire`` is
+    bounded by ``timeout_s`` and returns False rather than blocking
+    forever, so the worst case against a live, slow owner is a skipped
+    redundant write, never a hung campaign.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        timeout_s: float = 5.0,
+        stale_s: float = LOCK_STALE_S,
+        poll_s: float = 0.02,
+    ) -> None:
+        self.path = path
+        self.timeout_s = timeout_s
+        self.stale_s = stale_s
+        self.poll_s = poll_s
+        self._held = False
+
+    # -- staleness ---------------------------------------------------------
+
+    def _owner_pid(self) -> Optional[int]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                return int(fh.read().strip().split()[0])
+        except (OSError, ValueError, IndexError):
+            return None
+
+    def is_stale(self) -> bool:
+        """True when the current holder is provably gone or too old."""
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return False  # lock vanished; not ours to break
+        if age > self.stale_s:
+            return True
+        pid = self._owner_pid()
+        # An unreadable PID on a *young* lock is a writer mid-create, not
+        # staleness; only a parsed-and-dead owner forfeits early.
+        return pid is not None and not _pid_alive(pid)
+
+    def break_stale(self) -> bool:
+        """Remove a stale lock file; True if a file was removed."""
+        try:
+            os.unlink(self.path)
+            return True
+        except OSError:
+            return False  # raced with the owner's release or a rival breaker
+
+    # -- acquire/release ---------------------------------------------------
+
+    def acquire(self) -> bool:
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if self.is_stale():
+                    self.break_stale()
+                    continue  # retry immediately against rival breakers
+                if time.monotonic() >= deadline:
+                    return False
+                time.sleep(self.poll_s)
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(f"{os.getpid()} {time.time():.6f}\n")
+            self._held = True
+            return True
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "CacheLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
 class CellCache:
     """On-disk cache of :class:`MachineStats`, keyed by full fingerprint."""
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+    def __init__(
+        self,
+        root: str = DEFAULT_CACHE_DIR,
+        lock_timeout_s: float = 5.0,
+        lock_stale_s: float = LOCK_STALE_S,
+    ) -> None:
         self.root = root
+        self.lock_timeout_s = lock_timeout_s
+        self.lock_stale_s = lock_stale_s
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def lock_for(self, key: str) -> CacheLock:
+        return CacheLock(
+            self.path_for(key) + ".lock",
+            timeout_s=self.lock_timeout_s,
+            stale_s=self.lock_stale_s,
+        )
 
     def lookup(self, fingerprint: Dict[str, object]) -> Optional[MachineStats]:
         """Return the cached stats, or None on miss.
@@ -103,10 +234,32 @@ class CellCache:
         The temp file is flushed and ``fsync``'d *before* the rename:
         without it, a crash could reorder the rename ahead of the data
         and leave a correctly-named entry with truncated contents.
+
+        Concurrent campaigns storing the same entry coordinate through a
+        stale-tolerant :class:`CacheLock`: a dead writer's lock is
+        broken, and a *live* rival holding it past the bounded wait means
+        the identical bytes (the cache is content-addressed and the
+        simulator deterministic) are already being written — the
+        redundant write is skipped rather than deadlocking on it.
         """
         key = fingerprint_key(fingerprint)
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        lock = self.lock_for(key)
+        if not lock.acquire():
+            return path
+        try:
+            return self._write_entry(key, path, fingerprint, stats)
+        finally:
+            lock.release()
+
+    def _write_entry(
+        self,
+        key: str,
+        path: str,
+        fingerprint: Dict[str, object],
+        stats: MachineStats,
+    ) -> str:
         doc = {
             "schema": CACHE_SCHEMA,
             "key": key,

@@ -243,6 +243,133 @@ class SweepResult:
         return sweep_to_json(self, deterministic=deterministic)
 
 
+@dataclass
+class CellPlan:
+    """Re-enterable execution plan for a cell list.
+
+    Splits a campaign into what is already resolved (``results`` slots
+    filled from prior journal replay, the in-process memo, or the
+    on-disk cache) and what remains to run (``pending``: unique
+    outstanding cell -> every input index it satisfies).  Both
+    :func:`run_sweep` and the campaign service's coordinator build one;
+    the coordinator additionally seeds ``done`` from its write-ahead
+    journal, which is what makes a ``kill -9``'d campaign resumable with
+    exactly-once cell accounting — an index resolved in an earlier life
+    is never re-executed, only re-read.
+    """
+
+    cells: List[SweepCell]
+    results: List[Optional[CellResult]]
+    pending: Dict[SweepCell, List[int]]
+    memo_hits: int = 0
+    cache_hits: int = 0
+
+    def outstanding(self) -> List[SweepCell]:
+        """Unique cells still to execute, in first-appearance order."""
+        return list(self.pending)
+
+    def first_index(self) -> Dict[SweepCell, int]:
+        return {cell: idxs[0] for cell, idxs in self.pending.items()}
+
+    @property
+    def complete(self) -> bool:
+        return all(res is not None for res in self.results)
+
+    def finish(self) -> List[CellResult]:
+        """The fully-resolved result list, in input order."""
+        assert self.complete, "plan finished with unresolved cells"
+        return [res for res in self.results if res is not None]
+
+
+def plan_cells(
+    cells: Iterable[SweepCell],
+    cache: Optional[CellCache] = None,
+    use_memo: bool = True,
+    done: Optional[Dict[int, CellResult]] = None,
+    monitor: Optional[SweepMonitor] = None,
+) -> CellPlan:
+    """Resolve memo/cache/``done`` hits; dedupe the rest into a plan.
+
+    ``done`` maps input indices to already-settled results (a resumed
+    campaign's journal replay); those indices are taken as-is and their
+    cells charged to no one.  Identical outstanding cells are planned
+    once and fanned back out to every index at settle time.
+    """
+    cell_list = list(cells)
+    results: List[Optional[CellResult]] = [None] * len(cell_list)
+    pending: Dict[SweepCell, List[int]] = {}
+    memo_hits = cache_hits = 0
+    for idx, cell in enumerate(cell_list):
+        if done is not None and idx in done:
+            results[idx] = done[idx]
+            continue
+        earlier = pending.get(cell)
+        if earlier is not None:
+            earlier.append(idx)
+            continue
+        if use_memo:
+            hit = memo_lookup(cell.run_key())
+            if hit is not None:
+                results[idx] = CellResult(cell, hit, source="memo")
+                memo_hits += 1
+                if monitor is not None and monitor.enabled:
+                    monitor.finished(cell.label(), idx, True, 0.0, source="memo")
+                continue
+        if cache is not None:
+            t_cell = time.perf_counter()
+            disk = cache.lookup(cell.fingerprint())
+            if disk is not None:
+                wall = time.perf_counter() - t_cell
+                results[idx] = CellResult(
+                    cell, disk, wall_time=wall,
+                    source="cache",
+                )
+                cache_hits += 1
+                if use_memo:
+                    memo_store(cell.run_key(), disk)
+                if monitor is not None and monitor.enabled:
+                    monitor.finished(cell.label(), idx, True, wall, source="cache")
+                continue
+        pending[cell] = [idx]
+    return CellPlan(
+        cells=cell_list,
+        results=results,
+        pending=pending,
+        memo_hits=memo_hits,
+        cache_hits=cache_hits,
+    )
+
+
+def settle_outcome(
+    plan: CellPlan,
+    cell: SweepCell,
+    status: str,
+    payload: object,
+    seconds: float,
+    attempts: int,
+    cache: Optional[CellCache] = None,
+    use_memo: bool = True,
+) -> CellResult:
+    """Record one outstanding cell's outcome and fan it to its indices."""
+    if status == "ok":
+        assert isinstance(payload, MachineStats)
+        res = CellResult(cell, payload, wall_time=seconds, source="run")
+        if use_memo:
+            memo_store(cell.run_key(), payload)
+        if cache is not None:
+            cache.store(cell.fingerprint(), payload)
+    else:
+        res = CellResult(
+            cell,
+            None,
+            failure=_failure(status, payload, attempts),
+            wall_time=seconds,
+        )
+    for idx in plan.pending[cell]:
+        plan.results[idx] = res
+    return res
+
+
 def expand_cells(
     benchmarks: Sequence[str],
     designs: Sequence[str],
@@ -499,45 +626,14 @@ def run_sweep(
     cell_list = list(cells)
     t0 = time.perf_counter()
     monitor = SweepMonitor(len(cell_list), runlog=runlog, progress=progress)
-    results: List[Optional[CellResult]] = [None] * len(cell_list)
-    memo_hits = cache_hits = 0
 
     # Resolve memo and disk hits in the parent; dedupe the remainder so
     # identical cells are simulated once and fanned back out.
-    pending: Dict[SweepCell, List[int]] = {}
-    for idx, cell in enumerate(cell_list):
-        earlier = pending.get(cell)
-        if earlier is not None:
-            earlier.append(idx)
-            continue
-        if use_memo:
-            hit = memo_lookup(cell.run_key())
-            if hit is not None:
-                results[idx] = CellResult(cell, hit, source="memo")
-                memo_hits += 1
-                if monitor.enabled:
-                    monitor.finished(cell.label(), idx, True, 0.0, source="memo")
-                continue
-        if cache is not None:
-            t_cell = time.perf_counter()
-            disk = cache.lookup(cell.fingerprint())
-            if disk is not None:
-                wall = time.perf_counter() - t_cell
-                results[idx] = CellResult(
-                    cell, disk, wall_time=wall,
-                    source="cache",
-                )
-                cache_hits += 1
-                if use_memo:
-                    memo_store(cell.run_key(), disk)
-                if monitor.enabled:
-                    monitor.finished(cell.label(), idx, True, wall, source="cache")
-                continue
-        pending[cell] = [idx]
-    cache_misses = len(pending) if cache is not None else 0
+    plan = plan_cells(cell_list, cache=cache, use_memo=use_memo, monitor=monitor)
+    cache_misses = len(plan.pending) if cache is not None else 0
 
-    unique = list(pending)
-    first_index = {cell: pending[cell][0] for cell in unique}
+    unique = plan.outstanding()
+    first_index = plan.first_index()
     if (jobs > 1 or timeout is not None) and unique:
         by_cell = _run_pool(
             unique, max(jobs, 1), timeout, retries,
@@ -563,37 +659,24 @@ def run_sweep(
             outcomes.append((cell, status, payload, seconds, pid, attempts))
 
     for cell, status, payload, seconds, _pid, attempts in outcomes:
-        if status == "ok":
-            assert isinstance(payload, MachineStats)
-            res = CellResult(cell, payload, wall_time=seconds, source="run")
-            if use_memo:
-                memo_store(cell.run_key(), payload)
-            if cache is not None:
-                cache.store(cell.fingerprint(), payload)
-        else:
-            res = CellResult(
-                cell,
-                None,
-                failure=_failure(status, payload, attempts),
-                wall_time=seconds,
-            )
-        for idx in pending[cell]:
-            results[idx] = res
+        res = settle_outcome(
+            plan, cell, status, payload, seconds, attempts,
+            cache=cache, use_memo=use_memo,
+        )
         if monitor.enabled:
             # Duplicate cells shared this execution; account them so the
             # campaign's done-count reaches the input cell total.
-            for idx in pending[cell][1:]:
+            for idx in plan.pending[cell][1:]:
                 monitor.finished(cell.label(), idx, res.ok, 0.0, source="memo")
 
-    assert all(res is not None for res in results)
-    final = [res for res in results if res is not None]
+    final = plan.finish()
     result = SweepResult(
         cells=final,
         jobs=jobs,
         wall_time=time.perf_counter() - t0,
-        cache_hits=cache_hits,
+        cache_hits=plan.cache_hits,
         cache_misses=cache_misses,
-        memo_hits=memo_hits,
+        memo_hits=plan.memo_hits,
     )
     if monitor.enabled:
         monitor.close(

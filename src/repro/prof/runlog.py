@@ -131,11 +131,18 @@ class RunLog:
             fh.close()
 
 
-def read_runlog(path: str) -> List[Dict[str, object]]:
-    """Parse a run log; raises ValueError on a non-runlog line.
+def parse_jsonl_tolerant(
+    path: str, schema: str, what: str = "runlog"
+) -> List[Dict[str, object]]:
+    """Parse a schema-tagged JSONL stream, tolerating a torn tail.
 
-    Truncated final lines (a live campaign mid-write) are tolerated —
-    the parsed prefix is returned.
+    The shared reader shape for every append-only log in the repo (the
+    run log here, the campaign journal in :mod:`repro.service.journal`):
+    a truncated *final* line — a live writer mid-append, or the fsync'd
+    prefix a ``kill -9`` left behind — is silently dropped and the
+    parsed prefix returned, while a malformed or foreign-schema line
+    anywhere *before* the tail is real corruption and raises
+    ``ValueError``.
     """
     with open(path, "r", encoding="utf-8") as fh:
         lines = fh.readlines()
@@ -149,14 +156,23 @@ def read_runlog(path: str) -> List[Dict[str, object]]:
         except json.JSONDecodeError:
             if lineno == len(lines):
                 break  # torn tail of a live log
-            raise ValueError(f"{path}:{lineno}: malformed runlog line")
-        if record.get("schema") != RUNLOG_SCHEMA:
+            raise ValueError(f"{path}:{lineno}: malformed {what} line")
+        if not isinstance(record, dict) or record.get("schema") != schema:
+            got = record.get("schema") if isinstance(record, dict) else record
             raise ValueError(
-                f"{path}:{lineno}: expected schema {RUNLOG_SCHEMA!r}, "
-                f"got {record.get('schema')!r}"
+                f"{path}:{lineno}: expected schema {schema!r}, got {got!r}"
             )
         records.append(record)
     return records
+
+
+def read_runlog(path: str) -> List[Dict[str, object]]:
+    """Parse a run log; raises ValueError on a non-runlog line.
+
+    Truncated final lines (a live campaign mid-write) are tolerated —
+    the parsed prefix is returned.
+    """
+    return parse_jsonl_tolerant(path, RUNLOG_SCHEMA, what="runlog")
 
 
 class Progress:

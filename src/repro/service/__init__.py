@@ -1,0 +1,43 @@
+"""Crash-safe campaign service: journal, supervisor, coordinator, API.
+
+The service turns the repo's two batch engines — the figure-7 sweep
+matrix and the randomized crash/fault soak — into resumable *campaigns*:
+every settled work unit is journaled write-ahead (``repro.campaign/1``),
+workers run under a self-healing supervisor, and a stdlib HTTP job API
+fronts submission, status, event streaming and cancellation.  See
+``python -m repro serve`` / ``repro submit``.
+"""
+
+from repro.service.coordinator import CampaignOutcome, Coordinator
+from repro.service.jobs import CampaignSpec, SpecError
+from repro.service.journal import (
+    CampaignJournal,
+    ReplayedCampaign,
+    read_journal,
+    replay_journal,
+)
+from repro.service.ratelimit import ClientRateLimiter, ResourceTracker, TokenBucket
+from repro.service.supervisor import (
+    SupervisorConfig,
+    Task,
+    TaskOutcome,
+    WorkerSupervisor,
+)
+
+__all__ = [
+    "CampaignJournal",
+    "CampaignOutcome",
+    "CampaignSpec",
+    "ClientRateLimiter",
+    "Coordinator",
+    "ReplayedCampaign",
+    "ResourceTracker",
+    "SpecError",
+    "SupervisorConfig",
+    "Task",
+    "TaskOutcome",
+    "TokenBucket",
+    "WorkerSupervisor",
+    "read_journal",
+    "replay_journal",
+]

@@ -1,0 +1,515 @@
+"""The job API: campaign registry + stdlib HTTP server.
+
+:class:`CampaignService` owns the campaign directory tree
+(``<root>/campaigns/<id>/``), runs one coordinator thread per active
+campaign, and serves wall-clock-free status documents.  Every campaign
+is durable from the moment ``submit`` returns: the spec is journaled
+before the coordinator thread starts, so a service ``kill -9``'d
+between submit and completion leaves a resumable directory that the
+next ``repro serve --resume`` picks up.
+
+:class:`CampaignHTTPServer` is a stdlib ``ThreadingHTTPServer`` in
+front of the registry:
+
+* ``POST /campaigns``            — submit (202 + id), 400 on bad spec;
+* ``GET  /campaigns``            — list known campaigns;
+* ``GET  /campaigns/<id>``       — status document;
+* ``GET  /campaigns/<id>/events``— stream journal records as JSONL
+  (``?follow=1`` tails until the terminal record);
+* ``POST /campaigns/<id>/cancel``— request cancellation (202);
+* ``GET  /healthz``              — liveness + resource snapshot.
+
+Admission control (both from :mod:`repro.service.ratelimit`): a
+per-client token bucket turns bursts into 429 + ``Retry-After``, and a
+global worker budget queues campaigns that would oversubscribe the box
+instead of running them all at once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.harness.cachedir import CellCache
+from repro.obs.export import campaign_status_to_json
+from repro.service.coordinator import (
+    RESULT_NAME,
+    SPEC_NAME,
+    Coordinator,
+    write_json_atomic,
+)
+from repro.service.jobs import CampaignSpec, SpecError
+from repro.service.journal import (
+    JOURNAL_NAME,
+    read_journal,
+    replay_journal,
+)
+from repro.service.ratelimit import ClientRateLimiter, ResourceTracker
+
+#: sub-directory of the service root holding one directory per campaign.
+CAMPAIGNS_DIR = "campaigns"
+
+#: maximum accepted request body (a campaign spec is tiny).
+MAX_BODY_BYTES = 64 * 1024
+
+
+@dataclass
+class CampaignState:
+    """One campaign the service knows about, live or historical."""
+
+    campaign_id: str
+    spec: CampaignSpec
+    directory: str
+    status: str = "queued"  #: queued | running | finished | cancelled | failed
+    done: int = 0
+    errors: int = 0
+    detail: Optional[str] = None
+    replayed: int = 0
+    cancel: threading.Event = field(default_factory=threading.Event)
+    thread: Optional[threading.Thread] = None
+    coordinator: Optional[Coordinator] = None
+
+
+class CampaignService:
+    """Registry + executor for campaigns under one service root."""
+
+    def __init__(
+        self,
+        root: str,
+        cache: Optional[CellCache] = None,
+        tracker: Optional[ResourceTracker] = None,
+        limiter: Optional[ClientRateLimiter] = None,
+    ) -> None:
+        self.root = os.path.abspath(root)
+        self.cache = cache
+        self.tracker = tracker or ResourceTracker()
+        self.limiter = limiter or ClientRateLimiter()
+        self._lock = threading.Lock()
+        self._campaigns: Dict[str, CampaignState] = {}
+        self._counter = 0
+        self._stopping = threading.Event()
+
+    # -- registry ----------------------------------------------------------
+
+    def _campaign_dir(self, campaign_id: str) -> str:
+        return os.path.join(self.root, CAMPAIGNS_DIR, campaign_id)
+
+    def _new_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            n = self._counter
+        stamp = int(time.time())
+        suffix = os.urandom(3).hex()
+        return f"c{stamp}-{n:03d}-{suffix}"
+
+    def get(self, campaign_id: str) -> Optional[CampaignState]:
+        with self._lock:
+            return self._campaigns.get(campaign_id)
+
+    def list_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._campaigns)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def submit(self, spec: CampaignSpec, campaign_id: Optional[str] = None) -> str:
+        """Register a campaign durably and start its coordinator thread."""
+        campaign_id = campaign_id or self._new_id()
+        directory = self._campaign_dir(campaign_id)
+        os.makedirs(directory, exist_ok=True)
+        write_json_atomic(os.path.join(directory, SPEC_NAME), spec.to_json())
+        state = CampaignState(
+            campaign_id=campaign_id, spec=spec, directory=directory
+        )
+        with self._lock:
+            self._campaigns[campaign_id] = state
+        self._start(state)
+        return campaign_id
+
+    def _start(self, state: CampaignState) -> None:
+        thread = threading.Thread(
+            target=self._drive, args=(state,),
+            name=f"campaign-{state.campaign_id}", daemon=True,
+        )
+        state.thread = thread
+        thread.start()
+
+    def _drive(self, state: CampaignState) -> None:
+        workers = self.tracker.clamp(state.spec.workers)
+        if not self.tracker.acquire(workers, cancel=state.cancel):
+            state.status = "cancelled"
+            return
+        try:
+            state.status = "running"
+
+            def _progress(done: int, total: int, errors: int) -> None:
+                state.done, state.errors = done, errors
+
+            coordinator = Coordinator(
+                campaign_dir=state.directory,
+                campaign_id=state.campaign_id,
+                spec=state.spec,
+                cache=self.cache,
+                cancel=state.cancel,
+                on_progress=_progress,
+            )
+            state.coordinator = coordinator
+            outcome = coordinator.run()
+            state.done = outcome.done
+            state.errors = outcome.errors
+            state.replayed = outcome.replayed
+            state.status = outcome.status
+        except Exception as exc:  # a coordinator bug, not a work failure
+            state.status = "failed"
+            state.detail = f"{type(exc).__name__}: {exc}"
+        finally:
+            state.coordinator = None
+            self.tracker.release(workers)
+
+    def cancel(self, campaign_id: str) -> bool:
+        state = self.get(campaign_id)
+        if state is None:
+            return False
+        state.cancel.set()
+        return True
+
+    def resume_all(self) -> List[str]:
+        """Scan the root for resumable campaign directories and restart them.
+
+        A directory is resumable when its journal holds a ``created``
+        record but no terminal one.  Finished campaigns are registered
+        read-only so their status stays queryable.
+        """
+        base = os.path.join(self.root, CAMPAIGNS_DIR)
+        resumed: List[str] = []
+        if not os.path.isdir(base):
+            return resumed
+        for campaign_id in sorted(os.listdir(base)):
+            directory = os.path.join(base, campaign_id)
+            journal = os.path.join(directory, JOURNAL_NAME)
+            if self.get(campaign_id) is not None or not os.path.isdir(directory):
+                continue
+            try:
+                replayed = replay_journal(journal)
+            except (OSError, ValueError):
+                continue
+            spec_doc = replayed.spec_doc
+            if spec_doc is None:
+                spec_path = os.path.join(directory, SPEC_NAME)
+                try:
+                    with open(spec_path, encoding="utf-8") as fh:
+                        spec_doc = json.load(fh)
+                except (OSError, ValueError):
+                    continue
+            try:
+                spec = CampaignSpec.from_json(spec_doc)
+            except SpecError:
+                continue
+            state = CampaignState(
+                campaign_id=campaign_id, spec=spec, directory=directory
+            )
+            if replayed.terminal:
+                state.status = "cancelled" if replayed.cancelled else "finished"
+                state.done = len(replayed.done)
+                with self._lock:
+                    self._campaigns[campaign_id] = state
+                continue
+            with self._lock:
+                self._campaigns[campaign_id] = state
+            self._start(state)
+            resumed.append(campaign_id)
+        return resumed
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until every campaign thread settles (for --drain mode)."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            with self._lock:
+                threads = [
+                    s.thread
+                    for s in self._campaigns.values()
+                    if s.thread is not None and s.thread.is_alive()
+                ]
+            if not threads:
+                return True
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            threads[0].join(timeout=0.2)
+
+    def shutdown(self) -> None:
+        self._stopping.set()
+        with self._lock:
+            states = list(self._campaigns.values())
+        for state in states:
+            state.cancel.set()
+        for state in states:
+            if state.thread is not None:
+                state.thread.join(timeout=5.0)
+
+    # -- documents ---------------------------------------------------------
+
+    def status_doc(self, state: CampaignState) -> Dict[str, object]:
+        workers = None
+        coordinator = state.coordinator
+        if coordinator is not None and coordinator.supervisor is not None:
+            workers = list(coordinator.supervisor.worker_info)
+        return campaign_status_to_json(
+            state.campaign_id,
+            state.spec.kind,
+            state.status,
+            state.spec.total,
+            state.done,
+            state.errors,
+            state.spec.to_json(),
+            workers=workers,
+            detail=state.detail,
+        )
+
+    def events(
+        self, state: CampaignState, since_seq: int = -1, follow: bool = False
+    ) -> Iterator[Dict[str, object]]:
+        """Yield journal records with ``seq > since_seq``; optionally tail."""
+        journal = os.path.join(state.directory, JOURNAL_NAME)
+        last = since_seq
+        while True:
+            try:
+                records = read_journal(journal)
+            except (OSError, ValueError):
+                records = []
+            terminal = False
+            for record in records:
+                seq = int(record.get("seq", -1))
+                if seq <= last:
+                    continue
+                last = seq
+                yield record
+                if record.get("event") in ("finished", "cancelled"):
+                    terminal = True
+            if terminal or not follow or self._stopping.is_set():
+                return
+            if state.thread is not None and not state.thread.is_alive():
+                return
+            time.sleep(0.2)
+
+    def result_doc(self, state: CampaignState) -> Optional[Dict[str, object]]:
+        path = os.path.join(state.directory, RESULT_NAME)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-campaigns/1"
+    service: CampaignService  # set by CampaignHTTPServer
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        if os.environ.get("REPRO_SERVICE_DEBUG"):
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _client_key(self) -> str:
+        return self.client_address[0] if self.client_address else "unknown"
+
+    def _send_json(
+        self,
+        code: int,
+        doc: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, val in (extra_headers or {}).items():
+            self.send_header(key, val)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str, **extra: object) -> None:
+        doc: Dict[str, object] = {"error": message}
+        doc.update(extra)
+        headers = {}
+        if code == 429 and "retry_after_s" in extra:
+            headers["Retry-After"] = str(
+                max(1, int(float(str(extra["retry_after_s"])) + 0.999))
+            )
+        self._send_json(code, doc, headers)
+
+    def _admit(self) -> bool:
+        granted, retry_after = self.service.limiter.check(self._client_key())
+        if granted:
+            return True
+        self._error(
+            429, "rate limit exceeded; slow down",
+            retry_after_s=round(retry_after, 3),
+        )
+        return False
+
+    def _route(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0]
+        return tuple(part for part in path.split("/") if part)
+
+    def _query(self) -> Dict[str, str]:
+        if "?" not in self.path:
+            return {}
+        out: Dict[str, str] = {}
+        for pair in self.path.split("?", 1)[1].split("&"):
+            if "=" in pair:
+                key, val = pair.split("=", 1)
+                out[key] = val
+        return out
+
+    def _read_body(self) -> Optional[Dict[str, object]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return None
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, f"body must be 1..{MAX_BODY_BYTES} bytes")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._error(400, "body is not valid JSON")
+            return None
+        if not isinstance(doc, dict):
+            self._error(400, "body must be a JSON object")
+            return None
+        return doc
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        if not self._admit():
+            return
+        route = self._route()
+        if route == ("healthz",):
+            self._send_json(
+                200,
+                {"ok": True, "resources": self.service.tracker.snapshot()},
+            )
+            return
+        if route == ("campaigns",):
+            docs = []
+            for campaign_id in self.service.list_ids():
+                state = self.service.get(campaign_id)
+                if state is not None:
+                    docs.append(self.service.status_doc(state))
+            self._send_json(200, {"campaigns": docs})
+            return
+        if len(route) >= 2 and route[0] == "campaigns":
+            state = self.service.get(route[1])
+            if state is None:
+                self._error(404, f"unknown campaign {route[1]!r}")
+                return
+            if len(route) == 2:
+                self._send_json(200, self.service.status_doc(state))
+                return
+            if route[2] == "result":
+                doc = self.service.result_doc(state)
+                if doc is None:
+                    self._error(404, "result not written yet")
+                    return
+                self._send_json(200, doc)
+                return
+            if route[2] == "events":
+                self._stream_events(state)
+                return
+        self._error(404, f"no route for GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
+        if not self._admit():
+            return
+        route = self._route()
+        if route == ("campaigns",):
+            doc = self._read_body()
+            if doc is None:
+                return
+            try:
+                spec = CampaignSpec.from_json(doc)
+            except SpecError as exc:
+                self._error(400, str(exc))
+                return
+            campaign_id = self.service.submit(spec)
+            self._send_json(
+                202,
+                {
+                    "id": campaign_id,
+                    "status_url": f"/campaigns/{campaign_id}",
+                    "events_url": f"/campaigns/{campaign_id}/events?follow=1",
+                },
+            )
+            return
+        if len(route) == 3 and route[0] == "campaigns" and route[2] == "cancel":
+            if self.service.cancel(route[1]):
+                self._send_json(202, {"id": route[1], "cancelling": True})
+            else:
+                self._error(404, f"unknown campaign {route[1]!r}")
+            return
+        self._error(404, f"no route for POST {self.path}")
+
+    def _stream_events(self, state: CampaignState) -> None:
+        query = self._query()
+        follow = query.get("follow", "0") not in ("0", "", "false")
+        try:
+            since = int(query.get("since", "-1"))
+        except ValueError:
+            since = -1
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        # Stream of unknown length: close delimits the body.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for record in self.service.events(state, since_seq=since, follow=follow):
+                self.wfile.write((json.dumps(record, sort_keys=True) + "\n").encode())
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return
+        finally:
+            self.close_connection = True
+
+
+class CampaignHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`CampaignService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: CampaignService) -> None:
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        super().__init__(address, handler)
+        self.service = service
+
+
+def serve_forever(
+    host: str,
+    port: int,
+    service: CampaignService,
+    ready: Optional[threading.Event] = None,
+) -> None:
+    """Run the HTTP server until interrupted; always shuts the service down."""
+    server = CampaignHTTPServer((host, port), service)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+        service.shutdown()

@@ -1,0 +1,149 @@
+"""Tiny urllib client for the campaign job API (``repro submit``).
+
+Stdlib-only by design (the container bakes no HTTP libraries): thin
+wrappers over ``urllib.request`` that speak the JSON vocabulary of
+:mod:`repro.service.api` and surface 4xx/5xx bodies as
+:class:`ServiceError` with the server's own message.  ``submit_and_wait``
+follows the event stream when asked, otherwise polls the status
+document with bounded backoff — respecting any 429 ``Retry-After`` the
+rate limiter hands back.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, Iterator, Optional
+
+
+class ServiceError(RuntimeError):
+    """An API call failed; carries the HTTP status and server message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+#: cap on total seconds spent honoring 429 ``Retry-After`` hints.
+MAX_RETRY_WAIT_S = 30.0
+
+
+def _request(
+    url: str, method: str = "GET", body: Optional[Dict[str, object]] = None,
+    timeout_s: float = 30.0,
+) -> Dict[str, object]:
+    data = None
+    headers = {"Accept": "application/json"}
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    waited = 0.0
+    while True:
+        req = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                doc = json.loads(exc.read().decode("utf-8"))
+                message = str(doc.get("error", exc.reason))
+            except Exception:
+                message = str(exc.reason)
+            if exc.code == 429:
+                # Be the polite client the limiter is designed for: honor
+                # Retry-After (bounded) instead of failing the command.
+                try:
+                    pause = float(exc.headers.get("Retry-After") or 1.0)
+                except ValueError:
+                    pause = 1.0
+                pause = max(0.1, min(pause, 5.0))
+                if waited + pause <= MAX_RETRY_WAIT_S:
+                    waited += pause
+                    time.sleep(pause)
+                    continue
+                message += f" (gave up after {waited:.0f}s of backoff)"
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach service: {exc.reason}") from None
+
+
+class CampaignClient:
+    """One service endpoint, e.g. ``CampaignClient("http://127.0.0.1:8642")``."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def submit(self, spec_doc: Dict[str, object]) -> str:
+        doc = _request(
+            f"{self.base}/campaigns", "POST", spec_doc, self.timeout_s
+        )
+        return str(doc["id"])
+
+    def status(self, campaign_id: str) -> Dict[str, object]:
+        return _request(f"{self.base}/campaigns/{campaign_id}", timeout_s=self.timeout_s)
+
+    def result(self, campaign_id: str) -> Dict[str, object]:
+        return _request(
+            f"{self.base}/campaigns/{campaign_id}/result", timeout_s=self.timeout_s
+        )
+
+    def cancel(self, campaign_id: str) -> None:
+        _request(
+            f"{self.base}/campaigns/{campaign_id}/cancel", "POST", {},
+            self.timeout_s,
+        )
+
+    def health(self) -> Dict[str, object]:
+        return _request(f"{self.base}/healthz", timeout_s=self.timeout_s)
+
+    def events(
+        self, campaign_id: str, follow: bool = True, since: int = -1
+    ) -> Iterator[Dict[str, object]]:
+        """Yield journal records from the event stream as they arrive."""
+        url = (
+            f"{self.base}/campaigns/{campaign_id}/events"
+            f"?follow={1 if follow else 0}&since={since}"
+        )
+        req = urllib.request.Request(url, headers={"Accept": "application/x-ndjson"})
+        try:
+            # No read timeout: a quiet campaign may be mid-cell for longer
+            # than any polling timeout; the server closes on terminal.
+            with urllib.request.urlopen(req) as resp:
+                for line in resp:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, str(exc.reason)) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach service: {exc.reason}") from None
+
+    def wait(
+        self,
+        campaign_id: str,
+        poll_s: float = 0.5,
+        timeout_s: Optional[float] = None,
+        on_status: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> Dict[str, object]:
+        """Poll until the campaign reaches a terminal status."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        delay = poll_s
+        while True:
+            try:
+                doc = self.status(campaign_id)
+            except ServiceError as exc:
+                if exc.status != 429:
+                    raise
+                time.sleep(delay)
+                continue
+            if on_status is not None:
+                on_status(doc)
+            if doc.get("status") in ("finished", "cancelled", "failed"):
+                return doc
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(0, f"campaign {campaign_id} still running")
+            time.sleep(delay)
+            delay = min(2.0, delay * 1.5)

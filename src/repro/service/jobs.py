@@ -1,0 +1,208 @@
+"""Campaign specifications: what a submitted job *is*.
+
+A :class:`CampaignSpec` is the validated, JSON-round-trippable identity
+of one campaign — either a ``sweep`` (a benchmark x design x model
+matrix, sharded cell-by-cell) or a ``soak`` (a seed range of randomized
+crash/fault cases, sharded into contiguous seed ranges).  The spec is
+journaled verbatim in the campaign's ``created`` record, so a resumed
+coordinator rebuilds the *same* work list from the WAL alone; everything
+execution-related (worker count, per-task timeout, retry budget) rides
+in the spec too, making a campaign self-describing.
+
+Work units are intentionally the existing engines' units:
+
+* sweep campaigns expand to :class:`repro.harness.sweep.SweepCell` lists
+  via the same :func:`expand_cells` the CLI uses, and resolve through
+  the same plan/cache/memo machinery (:func:`plan_cells`), so a
+  serviced sweep is bit-identical to ``repro sweep``;
+* soak campaigns shard ``[0, seeds)`` into contiguous index ranges with
+  :func:`repro.chaos.soak.shard_seed_ranges`; each range replays through
+  :func:`run_soak_case`, which is index-pure by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.experiment import ALL_DESIGNS, ALL_MODELS
+from repro.harness.figures import BENCH_ORDER
+from repro.harness.sweep import SweepCell, expand_cells
+from repro.sim.machine import DESIGNS
+from repro.workloads import WORKLOADS
+
+#: campaign kinds the coordinator knows how to drive.
+KINDS = ("sweep", "soak")
+
+#: ceiling on workers a single campaign may request (the service's
+#: resource tracker enforces the *global* budget on top of this).
+MAX_CAMPAIGN_WORKERS = 64
+
+
+class SpecError(ValueError):
+    """A submitted campaign spec failed validation."""
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One validated campaign: work definition plus execution knobs."""
+
+    kind: str
+    # -- sweep axes --------------------------------------------------------
+    workloads: Tuple[str, ...] = ()
+    designs: Tuple[str, ...] = ()
+    models: Tuple[str, ...] = ("txn",)
+    ops_per_thread: int = 16
+    # -- soak axes ---------------------------------------------------------
+    workload: str = ""
+    seeds: int = 50
+    seed: int = 7
+    soak_designs: Tuple[str, ...] = ()  #: empty = rotate over all designs
+    media: bool = True
+    shrink: bool = True
+    # -- execution ---------------------------------------------------------
+    workers: int = 2
+    timeout_s: Optional[float] = None
+    retries: int = 1
+    deterministic: bool = False
+
+    # -- work expansion ----------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Number of accountable work indices (cells or cases)."""
+        if self.kind == "sweep":
+            return len(self.workloads) * len(self.designs) * len(self.models)
+        return self.seeds
+
+    def sweep_cells(self) -> List[SweepCell]:
+        assert self.kind == "sweep"
+        return expand_cells(
+            list(self.workloads), list(self.designs), list(self.models),
+            ops_per_thread=self.ops_per_thread,
+        )
+
+    def soak_design_pool(self) -> Optional[List[str]]:
+        return list(self.soak_designs) if self.soak_designs else None
+
+    # -- JSON --------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "kind": self.kind,
+            "workers": self.workers,
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+            "deterministic": self.deterministic,
+        }
+        if self.kind == "sweep":
+            doc.update(
+                workloads=list(self.workloads),
+                designs=list(self.designs),
+                models=list(self.models),
+                ops_per_thread=self.ops_per_thread,
+            )
+        else:
+            doc.update(
+                workload=self.workload,
+                seeds=self.seeds,
+                seed=self.seed,
+                designs=list(self.soak_designs),
+                media=self.media,
+                shrink=self.shrink,
+            )
+        return doc
+
+    @staticmethod
+    def from_json(doc: Dict[str, object]) -> "CampaignSpec":
+        """Validate an untrusted document into a spec (or raise SpecError)."""
+        if not isinstance(doc, dict):
+            raise SpecError("campaign spec must be a JSON object")
+        kind = doc.get("kind")
+        if kind not in KINDS:
+            raise SpecError(f"unknown campaign kind {kind!r}; choose from {list(KINDS)}")
+        try:
+            workers = int(doc.get("workers", 2))
+            retries = int(doc.get("retries", 1))
+            raw_timeout = doc.get("timeout_s")
+            timeout_s = None if raw_timeout is None else float(raw_timeout)
+            deterministic = bool(doc.get("deterministic", False))
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"malformed execution knobs: {exc}")
+        if not 1 <= workers <= MAX_CAMPAIGN_WORKERS:
+            raise SpecError(
+                f"workers must be in [1, {MAX_CAMPAIGN_WORKERS}], got {workers}"
+            )
+        if retries < 0:
+            raise SpecError("retries must be non-negative")
+        if timeout_s is not None and timeout_s <= 0:
+            raise SpecError("timeout_s must be positive when set")
+
+        if kind == "sweep":
+            # BENCH_ORDER, not sorted(): 'all' must expand exactly like the
+            # CLI's --workloads all so the artefacts are byte-identical.
+            workloads = _names(doc.get("workloads"), BENCH_ORDER, "workloads")
+            designs = _names(doc.get("designs"), ALL_DESIGNS, "designs")
+            models = _names(doc.get("models", ["txn"]), ALL_MODELS, "models")
+            try:
+                ops = int(doc.get("ops_per_thread", 16))
+            except (TypeError, ValueError) as exc:
+                raise SpecError(f"malformed ops_per_thread: {exc}")
+            if ops < 1:
+                raise SpecError("ops_per_thread must be at least 1")
+            return CampaignSpec(
+                kind="sweep",
+                workloads=workloads,
+                designs=designs,
+                models=models,
+                ops_per_thread=ops,
+                workers=workers,
+                timeout_s=timeout_s,
+                retries=retries,
+                deterministic=deterministic,
+            )
+
+        workload = doc.get("workload")
+        if workload not in WORKLOADS:
+            raise SpecError(
+                f"unknown workload {workload!r}; choose from {sorted(WORKLOADS)}"
+            )
+        raw_designs = doc.get("designs") or []
+        soak_designs: Tuple[str, ...] = ()
+        if raw_designs:
+            soak_designs = _names(raw_designs, sorted(DESIGNS), "designs")
+        try:
+            seeds = int(doc.get("seeds", 50))
+            seed = int(doc.get("seed", 7))
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"malformed seeds/seed: {exc}")
+        if seeds < 1:
+            raise SpecError("seeds must be at least 1")
+        return CampaignSpec(
+            kind="soak",
+            workload=str(workload),
+            seeds=seeds,
+            seed=seed,
+            soak_designs=soak_designs,
+            media=bool(doc.get("media", True)),
+            shrink=bool(doc.get("shrink", True)),
+            workers=workers,
+            timeout_s=timeout_s,
+            retries=retries,
+            deterministic=deterministic,
+        )
+
+
+def _names(raw: object, universe, axis: str) -> Tuple[str, ...]:
+    """Validate a name list (or the literal 'all') against a universe."""
+    if raw == "all":
+        return tuple(universe)
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise SpecError(f"{axis} must be a non-empty list of names (or 'all')")
+    names = [str(name) for name in raw]
+    unknown = [name for name in names if name not in universe]
+    if unknown:
+        raise SpecError(
+            f"unknown {axis} {unknown!r}; choose from {sorted(universe)}"
+        )
+    return tuple(names)

@@ -1,0 +1,180 @@
+"""Campaign write-ahead journal: the ``repro.campaign/1`` JSONL WAL.
+
+The coordinator's only durable state.  Every record is appended with
+``flush`` + ``fsync`` *before* the in-memory campaign state advances —
+redo-style write-ahead logging, the same discipline the source paper's
+durability-frontier model (and the PM transaction runtimes it evaluates)
+impose on persistent-memory logs.  A ``kill -9`` at any instant
+therefore leaves one of exactly three tails: a complete last record, a
+torn partial line, or nothing — never a record that the coordinator
+acted on but did not write.
+
+``read`` reuses the torn-tail-tolerant reader shape of
+:func:`repro.prof.runlog.parse_jsonl_tolerant`: a partial final line is
+dropped (the crash interrupted that append, so nothing downstream
+depended on it), while garbage *before* the tail is real corruption and
+raises.  :func:`CampaignJournal.replay` folds the surviving records into
+a :class:`ReplayedCampaign` with **exactly-once accounting**: a work
+index recorded twice (possible when a crash lands between the append
+and the cache store, and the cell is re-journaled from cache on resume)
+keeps its first record and ignores the rest — both carry identical
+deterministic payloads, so first-wins is a dedup, not a choice.
+
+Record vocabulary (all carry ``schema``, ``campaign``, ``seq``, ``ts``):
+
+* ``created``       — the validated campaign spec, written at submit;
+* ``coordinator-start`` — one per coordinator life (attempt counter);
+* ``cell-done``     — indices settled + status + payload (stats document,
+  typed failure, or a list of soak case documents) + result source;
+* ``cancelled`` / ``finished`` — terminal records; their absence is what
+  marks a campaign as resumable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+from repro.obs.export import CAMPAIGN_SCHEMA
+from repro.prof.runlog import parse_jsonl_tolerant
+
+#: journal file name inside a campaign directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: events that end a campaign; a journal without one is resumable.
+TERMINAL_EVENTS = ("finished", "cancelled")
+
+
+class CampaignJournal:
+    """Append-only, fsync'd JSONL writer for one campaign."""
+
+    def __init__(self, path: str, campaign_id: str) -> None:
+        self.path = path
+        self.campaign_id = campaign_id
+        self._fh: Optional[TextIO] = None
+        self._seq = 0
+
+    def _handle(self) -> TextIO:
+        if self._fh is None:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            # Seed the sequence counter past any durable prefix so a
+            # resumed campaign's records keep a monotonic seq.
+            if os.path.exists(self.path):
+                self._truncate_torn_tail()
+                try:
+                    records = read_journal(self.path)
+                    if records:
+                        self._seq = int(records[-1].get("seq", len(records))) + 1
+                except (OSError, ValueError):
+                    self._seq = 0
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def _truncate_torn_tail(self) -> None:
+        """Discard a torn final line before appending.
+
+        A torn record was never acknowledged (the crash interrupted its
+        fsync), so dropping it is safe — while appending *after* it
+        would fuse two records into interior garbage that replay would
+        rightly refuse as corruption.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                data = fh.read()
+            if not data or data.endswith(b"\n"):
+                return
+            cut = data.rfind(b"\n") + 1
+            with open(self.path, "r+b") as fh:
+                fh.truncate(cut)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError:
+            pass
+
+    def append(self, event: str, **fields: object) -> Dict[str, object]:
+        """Durably append one record (flush + fsync before returning)."""
+        fh = self._handle()
+        record: Dict[str, object] = {
+            "schema": CAMPAIGN_SCHEMA,
+            "campaign": self.campaign_id,
+            "event": event,
+            "seq": self._seq,
+            "ts": round(time.time(), 6),
+        }
+        record.update(fields)
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            fh.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_journal(path: str) -> List[Dict[str, object]]:
+    """Parse a campaign journal, tolerating a torn tail line."""
+    return parse_jsonl_tolerant(path, CAMPAIGN_SCHEMA, what="campaign journal")
+
+
+@dataclass
+class ReplayedCampaign:
+    """The durable state a journal folds into on replay."""
+
+    spec_doc: Optional[Dict[str, object]] = None
+    #: first-wins map of settled work index -> its ``cell-done`` record.
+    done: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    #: duplicate ``cell-done`` appends ignored by exactly-once folding.
+    duplicates: int = 0
+    coordinator_starts: int = 0
+    finished: bool = False
+    cancelled: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.finished or self.cancelled
+
+    @property
+    def resumable(self) -> bool:
+        return self.spec_doc is not None and not self.terminal
+
+
+def replay_journal(path: str) -> ReplayedCampaign:
+    """Fold a journal into campaign state with exactly-once accounting."""
+    state = ReplayedCampaign()
+    if not os.path.exists(path):
+        return state
+    for record in read_journal(path):
+        event = record.get("event")
+        if event == "created":
+            spec = record.get("spec")
+            if isinstance(spec, dict):
+                state.spec_doc = spec
+        elif event == "coordinator-start":
+            state.coordinator_starts += 1
+        elif event == "cell-done":
+            indices = record.get("indices")
+            if not isinstance(indices, list):
+                continue
+            for raw in indices:
+                idx = int(raw)
+                if idx in state.done:
+                    state.duplicates += 1
+                else:
+                    state.done[idx] = record
+        elif event == "finished":
+            state.finished = True
+        elif event == "cancelled":
+            state.cancelled = True
+    return state

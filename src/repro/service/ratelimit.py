@@ -1,0 +1,165 @@
+"""Admission control for the job API: token buckets + resource budget.
+
+Two independent gates sit in front of the coordinator:
+
+* :class:`ClientRateLimiter` — a token bucket per client key (the
+  remote address).  A burst beyond the bucket's capacity gets a 429
+  with a ``Retry-After`` hint; tokens refill continuously, so a polite
+  client recovers after the window without ever being banned.
+* :class:`ResourceTracker` — a global budget of concurrent campaign
+  workers (and an advisory memory cap derived from it).  Submissions
+  that would oversubscribe the box queue rather than fail: a campaign
+  acquires its worker allotment before spawning and releases it on any
+  exit path.
+
+Both take an injectable ``clock`` so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+#: default admission rate: sustained requests/second per client.
+DEFAULT_RATE = 2.0
+#: default burst capacity per client.
+DEFAULT_BURST = 6
+#: default global budget of concurrent campaign workers.
+DEFAULT_WORKER_BUDGET = 8
+#: advisory per-worker memory footprint (simulator state is small; this
+#: exists so operators can reason in bytes, not worker counts).
+WORKER_MEM_BYTES = 256 * 1024 * 1024
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float = DEFAULT_RATE,
+        burst: int = DEFAULT_BURST,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError("rate must be positive and burst at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """Take ``cost`` tokens if available.
+
+        Returns ``(granted, retry_after_s)``; ``retry_after_s`` is 0 on
+        grant, else the time until the bucket holds ``cost`` tokens.
+        """
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True, 0.0
+        return False, (cost - self._tokens) / self.rate
+
+
+class ClientRateLimiter:
+    """Per-client token buckets keyed by an opaque client id."""
+
+    #: drop idle buckets after this long (bounded memory for many clients).
+    IDLE_S = 300.0
+
+    def __init__(
+        self,
+        rate: float = DEFAULT_RATE,
+        burst: int = DEFAULT_BURST,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, Tuple[TokenBucket, float]] = {}
+
+    def check(self, client: str, cost: float = 1.0) -> Tuple[bool, float]:
+        """Charge ``client`` one request; ``(granted, retry_after_s)``."""
+        now = self.clock()
+        with self._lock:
+            entry = self._buckets.get(client)
+            if entry is None:
+                bucket = TokenBucket(self.rate, self.burst, self.clock)
+            else:
+                bucket = entry[0]
+            granted, retry_after = bucket.try_acquire(cost)
+            self._buckets[client] = (bucket, now)
+            if len(self._buckets) > 64:
+                self._buckets = {
+                    key: val
+                    for key, val in self._buckets.items()
+                    if now - val[1] < self.IDLE_S or key == client
+                }
+        return granted, retry_after
+
+
+class ResourceTracker:
+    """Global budget of concurrent campaign workers.
+
+    ``acquire`` blocks (cancellably) until the allotment fits, so queued
+    campaigns start in submission order instead of failing; ``snapshot``
+    feeds the status endpoint.
+    """
+
+    def __init__(self, worker_budget: int = DEFAULT_WORKER_BUDGET) -> None:
+        if worker_budget < 1:
+            raise ValueError("worker budget must be at least 1")
+        self.worker_budget = worker_budget
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._in_use = 0
+
+    def clamp(self, workers: int) -> int:
+        """Largest allotment a single campaign may hold."""
+        return max(1, min(workers, self.worker_budget))
+
+    def acquire(
+        self,
+        workers: int,
+        cancel: Optional[threading.Event] = None,
+        timeout_s: Optional[float] = None,
+    ) -> bool:
+        """Block until ``workers`` fit in the budget (or cancel/timeout)."""
+        workers = self.clamp(workers)
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._cond:
+            while self._in_use + workers > self.worker_budget:
+                if cancel is not None and cancel.is_set():
+                    return False
+                wait = 0.1
+                if deadline is not None:
+                    wait = min(wait, deadline - time.monotonic())
+                    if wait <= 0:
+                        return False
+                self._cond.wait(timeout=wait)
+            self._in_use += workers
+            return True
+
+    def release(self, workers: int) -> None:
+        workers = self.clamp(workers)
+        with self._cond:
+            self._in_use = max(0, self._in_use - workers)
+            self._cond.notify_all()
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            in_use = self._in_use
+        return {
+            "worker_budget": self.worker_budget,
+            "workers_in_use": in_use,
+            "workers_free": self.worker_budget - in_use,
+            "mem_budget_bytes": self.worker_budget * WORKER_MEM_BYTES,
+            "mem_in_use_bytes": in_use * WORKER_MEM_BYTES,
+        }

@@ -1,0 +1,130 @@
+"""Soak campaign plumbing: replay flags, seed sharding, case purity."""
+
+import pytest
+
+from repro.chaos.shrink import ShrinkResult
+from repro.chaos.soak import (
+    SoakCase,
+    SoakResult,
+    design_pool_for,
+    run_soak,
+    run_soak_case,
+    shard_seed_ranges,
+)
+from repro.sim.machine import DESIGNS
+
+
+def _case(**over) -> SoakCase:
+    doc = dict(index=3, seed=10, design="strandweaver", plan_desc="crash@5")
+    doc.update(over)
+    return SoakCase(**doc)
+
+
+class TestReplayCommandFlags:
+    """Replay one-liners must echo every campaign flag that shapes a case.
+
+    A campaign run with ``--no-media`` draws a *different* plan for the
+    same seed, so a replay without the flag chases a different failure
+    than the one reported.  Pinned here so the flags can never silently
+    drop out of the command again.
+    """
+
+    def _result(self, media: bool, shrink: bool) -> SoakResult:
+        return SoakResult(
+            workload="queue", seed=7, n_seeds=1, media=media,
+            designs=["strandweaver"], shrink=shrink,
+        )
+
+    def test_default_flags_produce_the_bare_command(self):
+        cmd = self._result(media=True, shrink=True).replay_command(_case())
+        assert cmd == (
+            "python -m repro soak queue --design strandweaver --seeds 1 --seed 10"
+        )
+
+    def test_no_media_campaign_echoes_no_media(self):
+        cmd = self._result(media=False, shrink=True).replay_command(_case())
+        assert "--no-media" in cmd
+
+    def test_no_shrink_campaign_echoes_no_shrink(self):
+        cmd = self._result(media=True, shrink=False).replay_command(_case())
+        assert "--no-shrink" in cmd
+
+    def test_both_flags_echo_together(self):
+        cmd = self._result(media=False, shrink=False).replay_command(_case())
+        assert "--no-media" in cmd and "--no-shrink" in cmd
+
+    def test_summary_embeds_the_flagged_replay_for_failures(self):
+        result = self._result(media=False, shrink=False)
+        result.cases = [_case(violation="queue lost an element", expected=False)]
+        (failing,) = result.summary()["failing"]
+        assert "--no-media" in failing["replay"]
+        assert "--no-shrink" in failing["replay"]
+
+
+class TestSeedSharding:
+    def test_ranges_cover_exactly_once_in_order(self):
+        ranges = shard_seed_ranges(10, 3)
+        covered = [
+            i for first, count in ranges for i in range(first, first + count)
+        ]
+        assert covered == list(range(10))
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [count for _, count in shard_seed_ranges(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_cases_collapses(self):
+        assert shard_seed_ranges(2, 8) == [(0, 1), (1, 1)]
+
+    def test_empty_and_offset(self):
+        assert shard_seed_ranges(0, 4) == []
+        assert shard_seed_ranges(4, 2, start=10) == [(10, 2), (12, 2)]
+
+
+class TestCasePurity:
+    def test_run_soak_case_matches_the_serial_campaign(self):
+        pool = design_pool_for(None)
+        serial = run_soak("queue", seeds=3, seed=7)
+        for case in serial.cases:
+            alone = run_soak_case("queue", case.seed, case.index, pool)
+            assert alone == case
+
+    def test_sharded_out_of_order_reassembly_is_identical(self):
+        pool = design_pool_for(None)
+        serial = run_soak("queue", seeds=4, seed=7)
+        # run the second half first: order must not matter
+        out = {}
+        for first, count in reversed(shard_seed_ranges(4, 2)):
+            for idx in range(first, first + count):
+                out[idx] = run_soak_case("queue", 7 + idx, idx, pool)
+        assert [out[i] for i in sorted(out)] == serial.cases
+
+    def test_design_pool_for_defaults_to_all_designs_sorted(self):
+        assert design_pool_for(None) == sorted(DESIGNS)
+        assert design_pool_for(["strandweaver"]) == ["strandweaver"]
+
+
+class TestCaseJSONRoundTrip:
+    def test_plain_case_round_trips(self):
+        case = _case()
+        assert SoakCase.from_json(case.to_json()) == case
+
+    def test_failing_shrunk_case_round_trips(self):
+        case = _case(
+            violation="lost element",
+            expected=False,
+            recovery_passes=2,
+            media_faults={"retries": 3, "uncorrectable": 0},
+            shrunk=ShrinkResult(
+                kind="crash-point", original_at=0.9, minimal_at=0.2,
+                probes=6, violation="lost element", reproducible=True,
+            ),
+        )
+        assert SoakCase.from_json(case.to_json()) == case
+
+    def test_round_trip_survives_json_serialization(self):
+        import json
+
+        case = _case(violation="x", expected=True)
+        wire = json.loads(json.dumps(case.to_json()))
+        assert SoakCase.from_json(wire) == case

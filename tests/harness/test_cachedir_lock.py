@@ -1,0 +1,147 @@
+"""Stale-lock detection: a dead writer must never wedge the cache."""
+
+import os
+import subprocess
+import sys
+import time
+
+from repro.harness.cachedir import (
+    CacheLock,
+    CellCache,
+    _pid_alive,
+    cell_fingerprint,
+)
+from repro.harness.experiment import default_config
+from repro.sim.config import TABLE_I
+from repro.sim.machine import Machine
+from repro.workloads import WORKLOADS, generate_for_design
+
+
+def _lock(tmp_path, **kw) -> CacheLock:
+    return CacheLock(str(tmp_path / "entry.json.lock"), **kw)
+
+
+def _write_lock_file(path: str, pid: int) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"{pid} {time.time():.6f}\n")
+
+
+def _dead_pid() -> int:
+    """A PID that provably belonged to an exited process."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestPidProbe:
+    def test_own_pid_is_alive(self):
+        assert _pid_alive(os.getpid())
+
+    def test_nonsense_pids_are_dead(self):
+        assert not _pid_alive(0)
+        assert not _pid_alive(-5)
+
+    def test_exited_child_is_dead(self):
+        assert not _pid_alive(_dead_pid())
+
+
+class TestStaleness:
+    def test_fresh_lock_with_live_owner_is_not_stale(self, tmp_path):
+        lock = _lock(tmp_path)
+        assert lock.acquire()
+        rival = _lock(tmp_path)
+        assert not rival.is_stale()
+        lock.release()
+
+    def test_dead_owner_makes_the_lock_stale(self, tmp_path):
+        lock = _lock(tmp_path)
+        _write_lock_file(lock.path, _dead_pid())
+        assert lock.is_stale()
+
+    def test_old_mtime_makes_the_lock_stale_even_with_live_owner(self, tmp_path):
+        lock = _lock(tmp_path, stale_s=0.05)
+        _write_lock_file(lock.path, os.getpid())
+        time.sleep(0.1)
+        assert lock.is_stale()
+
+    def test_unreadable_pid_on_young_lock_is_not_stale(self, tmp_path):
+        lock = _lock(tmp_path)
+        with open(lock.path, "w", encoding="utf-8") as fh:
+            fh.write("")  # writer mid-create
+        assert not lock.is_stale()
+
+
+class TestAcquire:
+    def test_acquire_breaks_a_dead_owners_lock_without_waiting(self, tmp_path):
+        lock = _lock(tmp_path, timeout_s=5.0)
+        _write_lock_file(lock.path, _dead_pid())
+        t0 = time.monotonic()
+        assert lock.acquire()
+        assert time.monotonic() - t0 < 1.0, "should break, not wait out the timeout"
+        assert int(open(lock.path).read().split()[0]) == os.getpid()
+        lock.release()
+
+    def test_acquire_respects_a_live_owner_until_timeout(self, tmp_path):
+        holder = _lock(tmp_path)
+        assert holder.acquire()
+        rival = _lock(tmp_path, timeout_s=0.2)
+        t0 = time.monotonic()
+        assert not rival.acquire()
+        assert time.monotonic() - t0 >= 0.2
+        holder.release()
+
+    def test_release_is_idempotent_and_only_for_held_locks(self, tmp_path):
+        lock = _lock(tmp_path)
+        lock.release()  # never acquired: must not unlink anything
+        assert lock.acquire()
+        lock.release()
+        lock.release()
+        assert not os.path.exists(lock.path)
+
+    def test_context_manager_releases_on_exit(self, tmp_path):
+        with _lock(tmp_path) as lock:
+            assert os.path.exists(lock.path)
+        assert not os.path.exists(lock.path)
+
+
+class TestCacheStoreUnderLocks:
+    def _stats_and_fingerprint(self):
+        cfg = default_config(4)
+        run = generate_for_design(WORKLOADS["queue"], cfg, "strandweaver", "txn")
+        stats = Machine("strandweaver").run(run.program)
+        fp = cell_fingerprint("queue", "strandweaver", "txn", cfg, TABLE_I)
+        return stats, fp
+
+    def test_store_after_dead_writer_crash_recovers(self, tmp_path):
+        """Regression: a kill -9'd writer's lock must not wedge store()."""
+        cache = CellCache(str(tmp_path), lock_timeout_s=5.0)
+        stats, fp = self._stats_and_fingerprint()
+        from repro.harness.cachedir import fingerprint_key
+
+        lock = cache.lock_for(fingerprint_key(fp))
+        os.makedirs(os.path.dirname(lock.path), exist_ok=True)
+        _write_lock_file(lock.path, _dead_pid())
+
+        t0 = time.monotonic()
+        cache.store(fp, stats)
+        assert time.monotonic() - t0 < 2.0
+        assert cache.lookup(fp) is not None
+        assert not os.path.exists(lock.path), "lock released after store"
+
+    def test_store_skips_write_while_live_rival_holds_the_lock(self, tmp_path):
+        cache = CellCache(str(tmp_path), lock_timeout_s=0.2)
+        stats, fp = self._stats_and_fingerprint()
+        from repro.harness.cachedir import fingerprint_key
+
+        key = fingerprint_key(fp)
+        holder = cache.lock_for(key)
+        assert holder.acquire()
+        try:
+            path = cache.store(fp, stats)  # bounded wait, then skip
+            assert not os.path.exists(path), "rival must not have written"
+            assert cache.lookup(fp) is None
+        finally:
+            holder.release()
+        # With the lock free the write goes through.
+        cache.store(fp, stats)
+        assert cache.lookup(fp) is not None

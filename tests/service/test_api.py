@@ -1,0 +1,204 @@
+"""Job API over HTTP: submit, status, events, cancel, 429s, budgets."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.api import CampaignHTTPServer, CampaignService
+from repro.service.client import CampaignClient, ServiceError
+from repro.service.ratelimit import ClientRateLimiter, ResourceTracker
+
+SPEC = {
+    "kind": "sweep",
+    "workloads": ["queue"],
+    "designs": ["strandweaver"],
+    "workers": 1,
+    "deterministic": True,
+    "ops_per_thread": 4,
+}
+
+
+@pytest.fixture
+def server(tmp_path):
+    """An in-process service with a generous default rate limit."""
+    service = CampaignService(
+        str(tmp_path / "svc"),
+        tracker=ResourceTracker(worker_budget=4),
+        limiter=ClientRateLimiter(rate=200.0, burst=500),
+    )
+    httpd = CampaignHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[0], httpd.server_address[1]
+    yield f"http://{host}:{port}", service
+    httpd.shutdown()
+    httpd.server_close()
+    service.shutdown()
+    thread.join(timeout=5.0)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+def _post(url, doc):
+    req = urllib.request.Request(
+        url, json.dumps(doc).encode(), {"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+class TestSubmitAndStatus:
+    def test_submit_runs_campaign_to_finished(self, server):
+        url, _service = server
+        code, doc = _post(url + "/campaigns", SPEC)
+        assert code == 202
+        client = CampaignClient(url)
+        status = client.wait(doc["id"], timeout_s=240)
+        assert status["status"] == "finished"
+        assert status["done"] == status["total"] == 1
+        assert status["errors"] == 0
+        assert status["schema"] == "repro.campaign-status/1"
+
+    def test_result_endpoint_serves_the_artefact(self, server):
+        url, _service = server
+        client = CampaignClient(url)
+        cid = client.submit(SPEC)
+        client.wait(cid, timeout_s=240)
+        result = client.result(cid)
+        assert result["schema"] == "repro.sweep/1"
+
+    def test_bad_spec_is_a_400_with_the_validators_message(self, server):
+        url, _ = server
+        bad = dict(SPEC, designs=["warp-drive"])
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(url + "/campaigns", bad)
+        assert err.value.code == 400
+        body = json.loads(err.value.read().decode())
+        assert "warp-drive" in body["error"]
+
+    def test_non_json_body_is_a_400(self, server):
+        url, _ = server
+        req = urllib.request.Request(
+            url + "/campaigns", b"not json", {"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400
+
+    def test_unknown_campaign_is_a_404(self, server):
+        url, _ = server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(url + "/campaigns/nope")
+        assert err.value.code == 404
+
+    def test_listing_shows_submitted_campaigns(self, server):
+        url, _ = server
+        client = CampaignClient(url)
+        cid = client.submit(SPEC)
+        client.wait(cid, timeout_s=240)
+        _, doc = _get(url + "/campaigns")
+        assert cid in [c["id"] for c in doc["campaigns"]]
+
+
+class TestEvents:
+    def test_event_stream_replays_the_journal_to_terminal(self, server):
+        url, _ = server
+        client = CampaignClient(url)
+        cid = client.submit(SPEC)
+        events = [r["event"] for r in client.events(cid, follow=True)]
+        assert events[0] == "created"
+        assert events[-1] == "finished"
+        assert "cell-done" in events
+
+    def test_since_filter_skips_old_records(self, server):
+        url, _ = server
+        client = CampaignClient(url)
+        cid = client.submit(SPEC)
+        client.wait(cid, timeout_s=240)
+        all_records = list(client.events(cid, follow=False))
+        later = list(client.events(cid, follow=False, since=all_records[0]["seq"]))
+        assert len(later) == len(all_records) - 1
+
+
+class TestCancel:
+    def test_cancel_unknown_campaign_is_a_404(self, server):
+        url, _ = server
+        client = CampaignClient(url)
+        with pytest.raises(ServiceError) as err:
+            client.cancel("nope")
+        assert err.value.status == 404
+
+    def test_cancel_is_acknowledged(self, server):
+        url, _ = server
+        client = CampaignClient(url)
+        cid = client.submit(SPEC)
+        client.cancel(cid)  # may land before or after completion
+        status = client.wait(cid, timeout_s=240)
+        assert status["status"] in ("finished", "cancelled")
+
+
+class TestRateLimit:
+    @pytest.fixture
+    def tight_server(self, tmp_path):
+        service = CampaignService(
+            str(tmp_path / "svc"),
+            limiter=ClientRateLimiter(rate=1.0, burst=3),
+        )
+        httpd = CampaignHTTPServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[0], httpd.server_address[1]
+        yield f"http://{host}:{port}"
+        httpd.shutdown()
+        httpd.server_close()
+        service.shutdown()
+        thread.join(timeout=5.0)
+
+    def test_burst_gets_429_with_retry_after(self, tight_server):
+        codes = []
+        retry_after = None
+        for _ in range(5):
+            try:
+                code, _ = _get(tight_server + "/healthz")
+                codes.append(code)
+            except urllib.error.HTTPError as exc:
+                codes.append(exc.code)
+                retry_after = exc.headers.get("Retry-After")
+        assert codes[:3] == [200, 200, 200]
+        assert 429 in codes
+        assert retry_after is not None and float(retry_after) >= 1
+
+    def test_client_recovers_after_the_window(self, tight_server):
+        import time
+
+        for _ in range(4):
+            try:
+                _get(tight_server + "/healthz")
+            except urllib.error.HTTPError:
+                pass
+        time.sleep(1.2)  # one token refills at 1 req/s
+        code, _ = _get(tight_server + "/healthz")
+        assert code == 200
+
+
+class TestResources:
+    def test_healthz_reports_the_worker_budget(self, server):
+        url, service = server
+        _, doc = _get(url + "/healthz")
+        assert doc["ok"] is True
+        assert doc["resources"]["worker_budget"] == 4
+
+    def test_campaign_workers_are_clamped_to_the_budget(self, server):
+        url, service = server
+        client = CampaignClient(url)
+        # Spec asks for 64 workers; the tracker must clamp to its budget.
+        cid = client.submit(dict(SPEC, workers=64))
+        client.wait(cid, timeout_s=240)
+        snap = service.tracker.snapshot()
+        assert snap["workers_in_use"] == 0  # everything released

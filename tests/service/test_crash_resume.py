@@ -1,0 +1,149 @@
+"""The tentpole guarantee: kill -9 anything, resume, lose nothing.
+
+A campaign is pre-created on disk (spec + ``created`` journal record),
+then driven by ``repro serve --drain`` in a subprocess.  Mid-campaign
+the test SIGKILLs the *coordinator process itself* (its supervised
+workers notice the orphaning via their parent-PID watch and exit too);
+a second ``--drain`` life must replay the journal and finish with
+
+* **exactly-once accounting** — every index settled once, journal
+  duplicates folded first-wins, and the cells settled before the kill
+  re-read from the journal rather than re-executed;
+* **byte-identical artefacts** — the deterministic result document
+  equals the one from an uninterrupted control campaign.
+
+A second scenario kills one *worker* (via the one-shot
+``REPRO_SERVICE_TEST_KILL_ONCE`` hook) and expects the supervisor to
+respawn it and finish the campaign in a single life.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.coordinator import SPEC_NAME, write_json_atomic
+from repro.service.jobs import CampaignSpec
+from repro.service.journal import JOURNAL_NAME, CampaignJournal, replay_journal
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+SPEC_DOC = {
+    "kind": "sweep",
+    "workloads": ["queue", "hashmap"],
+    "designs": ["intel-x86", "strandweaver"],
+    "workers": 2,
+    "deterministic": True,
+    "ops_per_thread": 4,
+}
+
+
+def _prepare_campaign(root: str, campaign_id: str) -> str:
+    """Lay out <root>/campaigns/<id>/ with spec + created record."""
+    spec = CampaignSpec.from_json(SPEC_DOC)
+    directory = os.path.join(root, "campaigns", campaign_id)
+    os.makedirs(directory, exist_ok=True)
+    write_json_atomic(os.path.join(directory, SPEC_NAME), spec.to_json())
+    with CampaignJournal(os.path.join(directory, JOURNAL_NAME), campaign_id) as j:
+        j.append("created", spec=spec.to_json())
+    return directory
+
+
+def _drain(root: str, extra_env=None, **popen_kw) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    # Fresh interpreters: the in-process memo must not leak between lives.
+    env.update(extra_env or {})
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--drain",
+         "--dir", root, "--no-cache"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        **popen_kw,
+    )
+
+
+def _wait_for_cell_dones(journal: str, want: int, timeout_s: float = 120.0) -> int:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            n = len(replay_journal(journal).done)
+        except ValueError:
+            n = 0  # mid-append torn tail
+        if n >= want:
+            return n
+        time.sleep(0.05)
+    pytest.fail(f"journal never reached {want} settled cells")
+
+
+def test_kill9_coordinator_then_resume_is_exactly_once_and_byte_identical(tmp_path):
+    root = str(tmp_path / "svc")
+    control_root = str(tmp_path / "control")
+
+    # Control: the same campaign, uninterrupted.
+    control_dir = _prepare_campaign(control_root, "c-control")
+    proc = _drain(control_root, extra_env={"REPRO_SERVICE_TEST_TASK_SLEEP_S": "0"})
+    out, err = proc.communicate(timeout=300)
+    assert proc.returncode == 0, err.decode()
+    control_bytes = open(os.path.join(control_dir, "result.json"), "rb").read()
+
+    # Life 1: paced workers so the SIGKILL lands mid-campaign.
+    directory = _prepare_campaign(root, "c-crash")
+    journal = os.path.join(directory, JOURNAL_NAME)
+    proc = _drain(root, extra_env={"REPRO_SERVICE_TEST_TASK_SLEEP_S": "1.0"})
+    try:
+        _wait_for_cell_dones(journal, want=1)
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=30)
+    assert proc.returncode == -signal.SIGKILL
+
+    state = replay_journal(journal)
+    survived = len(state.done)
+    assert 1 <= survived < 4, "the kill should land mid-campaign"
+    assert not state.terminal
+
+    # The orphaned workers must notice the dead coordinator and exit.
+    time.sleep(2.0)
+
+    # Life 2: resume. Journaled cells are re-read, the rest re-run.
+    proc = _drain(root)
+    out, err = proc.communicate(timeout=300)
+    assert proc.returncode == 0, err.decode()
+    assert "c-crash: finished (4/4, 0 errors)" in out.decode()
+
+    final = replay_journal(journal)
+    assert sorted(final.done) == [0, 1, 2, 3]
+    assert final.duplicates == 0, "an index was journaled twice"
+    assert final.finished
+    assert final.coordinator_starts == 2
+    # Cells settled before the kill were re-read, not re-executed: their
+    # journal records still carry life 1's coordinator run.
+    resumed_bytes = open(os.path.join(directory, "result.json"), "rb").read()
+    assert resumed_bytes == control_bytes
+
+
+def test_kill9_worker_midcampaign_respawns_and_finishes(tmp_path):
+    root = str(tmp_path / "svc")
+    directory = _prepare_campaign(root, "c-worker")
+    proc = _drain(
+        root,
+        extra_env={"REPRO_SERVICE_TEST_KILL_ONCE": "queue/strandweaver/txn"},
+    )
+    out, err = proc.communicate(timeout=300)
+    assert proc.returncode == 0, err.decode()
+    assert "c-worker: finished (4/4, 0 errors)" in out.decode()
+
+    state = replay_journal(os.path.join(directory, JOURNAL_NAME))
+    assert sorted(state.done) == [0, 1, 2, 3]
+    # The killed cell settled on a retry after the respawn.
+    victim = [
+        r for r in state.done.values() if r.get("cell") == "queue/strandweaver/txn"
+    ][0]
+    assert victim["status"] == "ok"
+    result = json.load(
+        open(os.path.join(directory, "result.json"), encoding="utf-8")
+    )
+    assert all(cell["ok"] for cell in result["cells"])

@@ -1,0 +1,106 @@
+"""Campaign journal: durable appends, torn tails, exactly-once replay."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import CAMPAIGN_SCHEMA
+from repro.service.journal import (
+    CampaignJournal,
+    read_journal,
+    replay_journal,
+)
+
+
+def _path(tmp_path) -> str:
+    return os.path.join(str(tmp_path), "journal.jsonl")
+
+
+class TestAppend:
+    def test_records_carry_schema_campaign_and_monotonic_seq(self, tmp_path):
+        path = _path(tmp_path)
+        with CampaignJournal(path, "c-1") as journal:
+            journal.append("created", spec={"kind": "sweep"})
+            journal.append("coordinator-start", attempt=1)
+        records = read_journal(path)
+        assert [r["event"] for r in records] == ["created", "coordinator-start"]
+        assert all(r["schema"] == CAMPAIGN_SCHEMA for r in records)
+        assert all(r["campaign"] == "c-1" for r in records)
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_reopened_journal_continues_the_sequence(self, tmp_path):
+        path = _path(tmp_path)
+        with CampaignJournal(path, "c-1") as journal:
+            journal.append("created", spec={})
+        with CampaignJournal(path, "c-1") as journal:
+            journal.append("coordinator-start", attempt=2)
+        assert [r["seq"] for r in read_journal(path)] == [0, 1]
+
+    def test_append_is_one_line_of_json(self, tmp_path):
+        path = _path(tmp_path)
+        with CampaignJournal(path, "c-1") as journal:
+            journal.append("cell-done", indices=[0, 3], payload={"a": 1})
+        (line,) = open(path, encoding="utf-8").read().splitlines()
+        assert json.loads(line)["indices"] == [0, 3]
+
+
+class TestTornTail:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = _path(tmp_path)
+        with CampaignJournal(path, "c-1") as journal:
+            journal.append("created", spec={"kind": "soak"})
+            journal.append("cell-done", indices=[0])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": "' + CAMPAIGN_SCHEMA + '", "event": "cell-do')
+        records = read_journal(path)
+        assert [r["event"] for r in records] == ["created", "cell-done"]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = _path(tmp_path)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"schema": CAMPAIGN_SCHEMA, "event": "x"}) + "\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_journal(path)
+
+    def test_resume_after_torn_tail_overwrites_nothing(self, tmp_path):
+        """A new life appends after the torn line; replay still works."""
+        path = _path(tmp_path)
+        with CampaignJournal(path, "c-1") as journal:
+            journal.append("created", spec={"kind": "soak"})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        with CampaignJournal(path, "c-1") as journal:
+            journal.append("coordinator-start", attempt=2)
+        state = replay_journal(path)
+        assert state.spec_doc == {"kind": "soak"}
+        assert state.coordinator_starts == 1
+
+
+class TestReplay:
+    def test_missing_journal_is_an_empty_campaign(self, tmp_path):
+        state = replay_journal(_path(tmp_path))
+        assert state.spec_doc is None
+        assert not state.resumable and not state.terminal
+
+    def test_exactly_once_folding_is_first_wins(self, tmp_path):
+        path = _path(tmp_path)
+        with CampaignJournal(path, "c-1") as journal:
+            journal.append("created", spec={"kind": "sweep"})
+            journal.append("cell-done", indices=[0, 2], payload="first")
+            journal.append("cell-done", indices=[2, 3], payload="second")
+        state = replay_journal(path)
+        assert sorted(state.done) == [0, 2, 3]
+        assert state.done[2]["payload"] == "first"
+        assert state.duplicates == 1
+
+    def test_terminal_records_end_resumability(self, tmp_path):
+        path = _path(tmp_path)
+        with CampaignJournal(path, "c-1") as journal:
+            journal.append("created", spec={"kind": "sweep"})
+        assert replay_journal(path).resumable
+        with CampaignJournal(path, "c-1") as journal:
+            journal.append("finished", done=4)
+        state = replay_journal(path)
+        assert state.terminal and not state.resumable

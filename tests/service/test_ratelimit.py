@@ -1,0 +1,139 @@
+"""Admission control: token buckets, per-client limiting, worker budget."""
+
+import threading
+
+import pytest
+
+from repro.service.ratelimit import (
+    ClientRateLimiter,
+    ResourceTracker,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_up_to_capacity_then_denied(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire()[0] for _ in range(3)] == [True] * 3
+        granted, retry_after = bucket.try_acquire()
+        assert not granted
+        assert retry_after == pytest.approx(1.0)
+
+    def test_recovers_after_the_window(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()[0]
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+    def test_refill_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(1000.0)
+        assert [bucket.try_acquire()[0] for _ in range(3)] == [True, True, False]
+
+    def test_rejects_nonsense_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(burst=0)
+
+
+class TestClientRateLimiter:
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = ClientRateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.check("10.0.0.1")[0]
+        assert not limiter.check("10.0.0.1")[0]
+        assert limiter.check("10.0.0.2")[0]  # a different client is fresh
+
+    def test_denied_client_recovers(self):
+        clock = FakeClock()
+        limiter = ClientRateLimiter(rate=1.0, burst=2, clock=clock)
+        limiter.check("c")
+        limiter.check("c")
+        granted, retry_after = limiter.check("c")
+        assert not granted and retry_after > 0
+        clock.advance(retry_after)
+        assert limiter.check("c")[0]
+
+    def test_idle_buckets_are_dropped_but_active_ones_kept(self):
+        clock = FakeClock()
+        limiter = ClientRateLimiter(rate=1.0, burst=1, clock=clock)
+        for i in range(80):
+            limiter.check(f"client-{i}")
+        clock.advance(ClientRateLimiter.IDLE_S + 1)
+        limiter.check("fresh")
+        assert len(limiter._buckets) < 80
+
+
+class TestResourceTracker:
+    def test_budget_is_enforced_and_released(self):
+        tracker = ResourceTracker(worker_budget=4)
+        assert tracker.acquire(3, timeout_s=0.1)
+        assert not tracker.acquire(2, timeout_s=0.1)  # 3 + 2 > 4
+        tracker.release(3)
+        assert tracker.acquire(4, timeout_s=0.1)
+
+    def test_clamp_bounds_a_single_campaign(self):
+        tracker = ResourceTracker(worker_budget=4)
+        assert tracker.clamp(100) == 4
+        assert tracker.clamp(0) == 1
+
+    def test_oversized_request_is_clamped_not_deadlocked(self):
+        tracker = ResourceTracker(worker_budget=2)
+        assert tracker.acquire(100, timeout_s=0.5)
+        assert tracker.snapshot()["workers_in_use"] == 2
+
+    def test_blocked_acquire_wakes_on_release(self):
+        tracker = ResourceTracker(worker_budget=2)
+        assert tracker.acquire(2)
+        got = []
+
+        def _wait():
+            got.append(tracker.acquire(1, timeout_s=5.0))
+
+        thread = threading.Thread(target=_wait)
+        thread.start()
+        tracker.release(2)
+        thread.join(timeout=5.0)
+        assert got == [True]
+
+    def test_cancel_aborts_a_blocked_acquire(self):
+        tracker = ResourceTracker(worker_budget=1)
+        assert tracker.acquire(1)
+        cancel = threading.Event()
+        got = []
+
+        def _wait():
+            got.append(tracker.acquire(1, cancel=cancel, timeout_s=10.0))
+
+        thread = threading.Thread(target=_wait)
+        thread.start()
+        cancel.set()
+        thread.join(timeout=5.0)
+        assert got == [False]
+
+    def test_snapshot_reports_budget_and_memory(self):
+        tracker = ResourceTracker(worker_budget=3)
+        tracker.acquire(2, timeout_s=0.1)
+        snap = tracker.snapshot()
+        assert snap["worker_budget"] == 3
+        assert snap["workers_in_use"] == 2
+        assert snap["workers_free"] == 1
+        assert snap["mem_in_use_bytes"] > 0
