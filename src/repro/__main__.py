@@ -94,7 +94,7 @@ ARTEFACTS = {
 
 COMMANDS = sorted(ARTEFACTS) + [
     "all", "sweep", "trace", "bench", "crashtest", "soak", "lint", "profile",
-    "serve", "submit",
+    "serve", "submit", "modelcheck", "repair",
 ]
 
 
@@ -173,6 +173,34 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats-out", default=None,
         help="also write the run's stats document to this path ('trace')",
+    )
+    parser.add_argument(
+        "--format", default=None, choices=("text", "json", "sarif"),
+        dest="out_format",
+        help="'lint'/'modelcheck': output format (default text; 'sarif' "
+        "emits a SARIF 2.1.0 document for GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=200_000, metavar="N",
+        help="modelcheck/repair: bounded-exhaustive crash-state enumeration "
+        "budget; programs whose state space exceeds it degrade to pairwise "
+        "order checking (default 200000)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=5, metavar="N",
+        help="modelcheck: machine-oracle crash points sampled across the "
+        "clean run's makespan (default 5; 0 disables the oracle)",
+    )
+    parser.add_argument(
+        "--mutate", default=None, metavar="NAME",
+        help="modelcheck: seed a deliberate semantics bug into the "
+        "operational model (drop-barrier, drop-join, ignore-newstrand) — "
+        "the checker must report a divergence",
+    )
+    parser.add_argument(
+        "--apply", action="store_true",
+        help="repair: write the repaired op stream as JSON to --out "
+        "(default <target>.repaired.json)",
     )
     parser.add_argument(
         "--ring", type=int, default=0, metavar="N",
@@ -495,7 +523,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         (not r.errors) if d != "non-atomic" else bool(r.errors)
         for d, r in reports.items()
     )
-    if args.json:
+    fmt = args.out_format or ("json" if args.json else "text")
+    if fmt == "json":
         doc = {
             "schema": LINT_SCHEMA,
             "workload": args.workload,
@@ -504,6 +533,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             "designs": {d: r.to_json() for d, r in reports.items()},
         }
         print(json.dumps(doc, indent=1, sort_keys=True))
+    elif fmt == "sarif":
+        from repro.analysis.sarif import lint_to_sarif
+
+        docs = [
+            lint_to_sarif(r, target=f"{args.workload}@{d}")
+            for d, r in reports.items()
+        ]
+        merged = docs[0]
+        for extra in docs[1:]:
+            merged["runs"].extend(extra["runs"])
+        print(json.dumps(merged, indent=1, sort_keys=True))
     else:
         for design, report in reports.items():
             print(report.render())
@@ -513,6 +553,180 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print()
         print("lint OK" if ok else "lint FAILED")
     return 0 if ok else 1
+
+
+def _modelcheck_targets(args: argparse.Namespace, designs):
+    """Resolve the modelcheck/repair target into (name, program) pairs.
+
+    A target is a litmus case, the whole litmus ``corpus``, or a workload
+    name (compiled per design, litmus-sized state spaces not required —
+    big programs degrade to pairwise checking).
+    """
+    from repro.analysis import LITMUS
+    from repro.harness.experiment import default_config
+    from repro.workloads import WORKLOADS, generate_for_design
+
+    name = args.workload
+    if name == "corpus":
+        return [
+            (case_name, lambda d, n=case_name: LITMUS[n].build())
+            for case_name in sorted(LITMUS)
+        ]
+    if name in LITMUS:
+        return [(name, lambda d, n=name: LITMUS[n].build())]
+    if name in WORKLOADS:
+        cfg = default_config(args.ops)
+
+        def build(design, n=name):
+            return generate_for_design(
+                WORKLOADS[n], cfg, design, args.model
+            ).program
+
+        return [(name, build)]
+    return None
+
+
+def _cmd_modelcheck(args: argparse.Namespace) -> int:
+    from repro.analysis import MODELCHECK_SCHEMA, MUTATIONS, check_program
+    from repro.analysis.sarif import modelcheck_to_sarif
+    from repro.sim.machine import DESIGNS
+
+    if args.workload is None:
+        print("modelcheck requires a target, e.g.: python -m repro "
+              "modelcheck corpus --design all", file=sys.stderr)
+        return 2
+    if args.design is None:
+        args.design = "all"
+    if args.design != "all" and args.design not in DESIGNS:
+        print(f"unknown design {args.design!r}; choose from "
+              f"{sorted(DESIGNS) + ['all']}", file=sys.stderr)
+        return 2
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        print(f"unknown mutation {args.mutate!r}; choose from "
+              f"{sorted(MUTATIONS)}", file=sys.stderr)
+        return 2
+    if args.budget < 1:
+        print("--budget must be at least 1", file=sys.stderr)
+        return 2
+    if args.samples < 0:
+        print("--samples must be non-negative", file=sys.stderr)
+        return 2
+    designs = sorted(DESIGNS) if args.design == "all" else [args.design]
+    targets = _modelcheck_targets(args, designs)
+    if targets is None:
+        from repro.analysis import LITMUS
+        from repro.workloads import WORKLOADS
+
+        print(f"unknown target {args.workload!r}; choose a litmus case "
+              f"({', '.join(sorted(LITMUS))}), a workload "
+              f"({', '.join(sorted(WORKLOADS))}), or 'corpus'",
+              file=sys.stderr)
+        return 2
+
+    reports = []
+    for name, build in targets:
+        for design in designs:
+            reports.append(
+                check_program(
+                    build(design),
+                    design,
+                    target=name,
+                    budget=args.budget,
+                    oracle_samples=args.samples,
+                    mutate=args.mutate,
+                )
+            )
+    agree = all(r.agree for r in reports)
+    fmt = args.out_format or ("json" if args.json else "text")
+    if fmt == "json":
+        doc = {
+            "schema": MODELCHECK_SCHEMA,
+            "target": args.workload,
+            "designs": designs,
+            "budget": args.budget,
+            "mutation": args.mutate,
+            "agree": agree,
+            "reports": [r.to_json() for r in reports],
+        }
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    elif fmt == "sarif":
+        print(json.dumps(modelcheck_to_sarif(reports), indent=1, sort_keys=True))
+    else:
+        for r in reports:
+            print(r.render())
+        n_div = sum(len(r.divergences) for r in reports)
+        print(f"modelcheck {'OK' if agree else 'FAILED'}: "
+              f"{len(reports)} report(s), {n_div} divergence(s)")
+    return 0 if agree else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.analysis import LITMUS, repair
+    from repro.sim.machine import DESIGNS
+
+    if args.workload is None:
+        print("repair requires a target, e.g.: python -m repro repair "
+              "overser-double-clwb", file=sys.stderr)
+        return 2
+    if args.design is None:
+        args.design = (
+            LITMUS[args.workload].design
+            if args.workload in LITMUS
+            else "strandweaver"
+        )
+    if args.design not in DESIGNS:
+        print(f"unknown design {args.design!r}; choose from {sorted(DESIGNS)}",
+              file=sys.stderr)
+        return 2
+    targets = _modelcheck_targets(args, [args.design])
+    if targets is None or args.workload == "corpus":
+        print(f"unknown repair target {args.workload!r}; choose a litmus "
+              f"case or a workload", file=sys.stderr)
+        return 2
+    (name, build), = targets
+    result = repair(
+        build(args.design), args.design, target=name, budget=args.budget
+    )
+    if args.apply and result.program is not None:
+        out = args.out or f"{name}.repaired.json"
+        _write_repaired_trace(out, result)
+        if not args.json:
+            print(f"wrote repaired trace to {out}")
+    if args.json:
+        print(json.dumps(result.to_json(), indent=1, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.verified else 1
+
+
+def _write_repaired_trace(path: str, result) -> None:
+    """Serialise the repaired program as a portable op-stream document."""
+    program = result.program
+    doc = {
+        "schema": "repro.repair/1-trace",
+        "target": result.target,
+        "design": result.design,
+        "edits": [e.to_json() for e in result.edits],
+        "threads": [
+            [
+                {
+                    "kind": op.kind.name,
+                    "addr": op.addr,
+                    "size": op.size,
+                    "data": op.data.hex(),
+                    "lock_id": op.lock_id,
+                    "cycles": op.cycles,
+                    "gseq": op.gseq,
+                    "region": op.region,
+                    "label": op.label,
+                }
+                for op in trace.ops
+            ]
+            for trace in program.threads
+        ],
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
 
 
 def _make_cache(args: argparse.Namespace):
@@ -872,6 +1086,10 @@ def main(argv=None) -> int:
         return _cmd_soak(args)
     if args.artefact == "lint":
         return _cmd_lint(args)
+    if args.artefact == "modelcheck":
+        return _cmd_modelcheck(args)
+    if args.artefact == "repair":
+        return _cmd_repair(args)
     if args.artefact == "sweep":
         return _cmd_sweep(args)
     if args.artefact == "profile":

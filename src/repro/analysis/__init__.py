@@ -4,6 +4,18 @@
 for crash-consistency bugs and over-serialization without running the
 timing simulator or enumerating crash cuts.  See
 :mod:`repro.analysis.checks` for the five diagnostic classes.
+
+Beyond the linter, the package closes the analyzer/formal-model loop:
+
+* :mod:`repro.analysis.pmo` — the declarative PMO axioms (Eqs. 1-4) as
+  explicit relations, independent of the operational persist DAG;
+* :mod:`repro.analysis.modelcheck` — exhaustive crash-state comparison
+  of the declarative axioms, the operational DAG, and the machine
+  oracle, with seeded-mutation self-tests;
+* :mod:`repro.analysis.repair` — a suggested-fix engine that searches
+  minimal primitive edits making a trace lint- and model-check-clean,
+  pricing performance repairs in measured simulator cycles;
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 export for code scanning.
 """
 
 from repro.analysis.checks import analyze
@@ -20,6 +32,30 @@ from repro.analysis.diagnostics import (
     Severity,
 )
 from repro.analysis.litmus import LITMUS, LitmusCase
+from repro.analysis.modelcheck import (
+    MODELCHECK_SCHEMA,
+    MUTATIONS,
+    Divergence,
+    ModelCheckReport,
+    check_corpus,
+    check_litmus,
+    check_program,
+)
+from repro.analysis.pmo import DeclarativePmo, StateSpaceExceeded
+from repro.analysis.repair import (
+    REPAIR_SCHEMA,
+    Edit,
+    RepairResult,
+    apply_edits,
+    repair,
+)
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    diagnostics_from_sarif,
+    lint_to_sarif,
+    modelcheck_to_sarif,
+    report_from_sarif,
+)
 from repro.analysis.semantics import (
     SEMANTICS,
     DesignSemantics,
@@ -32,19 +68,38 @@ __all__ = [
     "ALL_CHECKS",
     "LINT_SCHEMA",
     "LITMUS",
+    "MODELCHECK_SCHEMA",
+    "MUTATIONS",
     "OVER_SERIALIZATION",
     "PERSIST_RACE",
+    "REPAIR_SCHEMA",
+    "SARIF_VERSION",
     "SEMANTICS",
     "STRAND_MISUSE",
     "TORN_WRITE",
     "UNFLUSHED",
     "AnalysisReport",
+    "DeclarativePmo",
     "DesignSemantics",
     "Diagnostic",
+    "Divergence",
+    "Edit",
     "EffectiveProgram",
     "LitmusCase",
+    "ModelCheckReport",
+    "RepairResult",
     "Severity",
+    "StateSpaceExceeded",
     "analyze",
+    "apply_edits",
+    "check_corpus",
+    "check_litmus",
+    "check_program",
+    "diagnostics_from_sarif",
     "effective_program",
+    "lint_to_sarif",
+    "modelcheck_to_sarif",
+    "repair",
+    "report_from_sarif",
     "semantics_for",
 ]

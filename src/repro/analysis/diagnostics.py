@@ -153,8 +153,25 @@ class AnalysisReport:
         return sum(d.estimated_waste for d in self.diagnostics)
 
     def finalize(self) -> "AnalysisReport":
-        """Deterministic order: most severe first, then program position."""
-        self.diagnostics.sort(key=lambda d: (-int(d.severity), d.tid, d.seq))
+        """Deduplicate and impose a deterministic, byte-stable order.
+
+        Findings are keyed on their identity (anchor op, class, rule,
+        severity, message); a check re-reporting the same fact folds to
+        one diagnostic.  Order is op-index-major — ``(tid, seq, gseq)``,
+        then class/rule, most severe first on exact ties — so two runs
+        over the same program serialize to byte-identical JSON.
+        """
+        seen = set()
+        unique: List[Diagnostic] = []
+        for d in self.diagnostics:
+            key = (d.tid, d.seq, d.check, d.rule, int(d.severity), d.message)
+            if key not in seen:
+                seen.add(key)
+                unique.append(d)
+        unique.sort(
+            key=lambda d: (d.tid, d.seq, d.gseq, d.check, d.rule, -int(d.severity))
+        )
+        self.diagnostics = unique
         return self
 
     # -- output ---------------------------------------------------------

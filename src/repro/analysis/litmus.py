@@ -240,6 +240,119 @@ def _torn_guarded_clean() -> Program:
 
 
 # ----------------------------------------------------------------------
+# 6. crash-during-recovery / media-fault interactions (PR 5)
+#
+# These twins model the write shapes the re-entrant recovery passes and
+# the media fault layer produce: clearing undo-log entries after replay,
+# re-flushing a line the device NACKed and the driver retried, and
+# persisting into a spare line after a media remap.  Each changes the
+# durable frontier in a way the corresponding diagnostic class must
+# still reason about correctly.
+# ----------------------------------------------------------------------
+
+
+def _recovery_clear_race() -> Program:
+    def t0(c: TraceCursor) -> None:
+        # Recovery replays the log, then clears the entry and publishes a
+        # fresh commit marker.  Opening a strand in between lets a crash
+        # *during the next recovery* see the marker without the clear —
+        # the re-entrant pass would replay a stale entry.
+        c.store(LOG, b"\x00" * 8, label="log:clear")
+        c.clwb(LOG)
+        c.new_strand()  # bug: clear and marker race
+        c.store(MARKER, b"\x02", label=COMMIT_MARKER_LABEL)
+        c.clwb(MARKER)
+
+    return _single(t0)
+
+
+def _recovery_clear_ordered() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(LOG, b"\x00" * 8, label="log:clear")
+        c.clwb(LOG)
+        c.persist_barrier()  # clear persists before the marker
+        c.store(MARKER, b"\x02", label=COMMIT_MARKER_LABEL)
+        c.clwb(MARKER)
+
+    return _single(t0)
+
+
+def _retry_double_flush() -> Program:
+    def t0(c: TraceCursor) -> None:
+        # A driver retrying a media-NACKed persist re-issues the CLWB
+        # after the drain — but the first flush already succeeded and the
+        # line was never re-dirtied, so the retry is pure overhead.
+        c.store(DATA, b"\x3c" * 8)
+        c.clwb(DATA)
+        c.join_strand()
+        c.clwb(DATA)  # lint: retry of an already-clean line
+
+    return _single(t0)
+
+
+def _retry_reflush_clean() -> Program:
+    def t0(c: TraceCursor) -> None:
+        # The correct retry: the device dropped the write, so recovery
+        # re-writes the payload before flushing again.
+        c.store(DATA, b"\x3c" * 8)
+        c.clwb(DATA)
+        c.join_strand()
+        c.store(DATA, b"\x3c" * 8)  # re-dirty after the media fault
+        c.clwb(DATA)
+
+    return _single(t0)
+
+
+def _remap_unordered() -> Program:
+    def t0(c: TraceCursor) -> None:
+        # After a spare-line remap the log entry lands on a fresh line;
+        # the remap does not change the Fig. 5 obligation — the entry
+        # must still persist before the in-place update.
+        c.store(DATA2, b"\x0a" * 8, label="log:store")
+        c.clwb(DATA2)
+        # bug: no barrier between the remapped entry and the update
+        c.store(LOG, b"\x0b" * 8, label="update")
+        c.clwb(LOG)
+
+    return _single(t0)
+
+
+def _remap_ordered() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(DATA2, b"\x0a" * 8, label="log:store")
+        c.clwb(DATA2)
+        c.persist_barrier()
+        c.store(LOG, b"\x0b" * 8, label="update")
+        c.clwb(LOG)
+
+    return _single(t0)
+
+
+def _recovery_rollback_unflushed() -> Program:
+    def t0(c: TraceCursor) -> None:
+        # A crashing recovery pass rolls the update back from the log but
+        # never writes the rollback back — the next crash loses it while
+        # the marker says recovery completed.
+        c.store(DATA, b"\x99" * 8, label="rollback")  # bug: never flushed
+        c.join_strand()
+        c.store(MARKER, b"\x03", label=COMMIT_MARKER_LABEL)
+        c.clwb(MARKER)
+
+    return _single(t0)
+
+
+def _recovery_rollback_flushed() -> Program:
+    def t0(c: TraceCursor) -> None:
+        c.store(DATA, b"\x99" * 8, label="rollback")
+        c.clwb(DATA)
+        c.join_strand()
+        c.store(MARKER, b"\x03", label=COMMIT_MARKER_LABEL)
+        c.clwb(MARKER)
+
+    return _single(t0)
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -373,6 +486,70 @@ _CASES = (
         design="strandweaver",
         description="same store, guarded by a failure-atomic region",
         build=_torn_guarded_clean,
+    ),
+    LitmusCase(
+        name="recovery-clear-race",
+        design="strandweaver",
+        description="recovery's log clear races its fresh commit marker",
+        build=_recovery_clear_race,
+        expect=UNFLUSHED,
+        expect_rule="no-path-to-marker",
+        expect_severity=Severity.ERROR,
+        bug_site=(0, 0),
+    ),
+    LitmusCase(
+        name="recovery-clear-ordered",
+        design="strandweaver",
+        description="log clear barriered before the recovery marker",
+        build=_recovery_clear_ordered,
+    ),
+    LitmusCase(
+        name="retry-double-flush",
+        design="strandweaver",
+        description="media-retry re-flushes a line that stayed clean",
+        build=_retry_double_flush,
+        expect=OVER_SERIALIZATION,
+        expect_rule="redundant-flush",
+        expect_severity=Severity.ADVICE,
+        bug_site=(0, 3),
+    ),
+    LitmusCase(
+        name="retry-reflush-clean",
+        design="strandweaver",
+        description="media-retry re-dirties the line before re-flushing",
+        build=_retry_reflush_clean,
+    ),
+    LitmusCase(
+        name="remap-unordered",
+        design="strandweaver",
+        description="spare-line remap drops the log/update barrier",
+        build=_remap_unordered,
+        expect=STRAND_MISUSE,
+        expect_rule="unordered-pair",
+        expect_severity=Severity.ERROR,
+        bug_site=(0, 2),
+    ),
+    LitmusCase(
+        name="remap-ordered",
+        design="strandweaver",
+        description="remapped log entry still barriered before the update",
+        build=_remap_ordered,
+    ),
+    LitmusCase(
+        name="recovery-rollback-unflushed",
+        design="strandweaver",
+        description="crashing recovery rolls back without writing back",
+        build=_recovery_rollback_unflushed,
+        expect=UNFLUSHED,
+        expect_rule="never-flushed",
+        expect_severity=Severity.ERROR,
+        bug_site=(0, 0),
+    ),
+    LitmusCase(
+        name="recovery-rollback-flushed",
+        design="strandweaver",
+        description="rollback flushed and drained before the marker",
+        build=_recovery_rollback_flushed,
     ),
 )
 

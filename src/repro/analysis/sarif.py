@@ -1,0 +1,208 @@
+"""SARIF 2.1.0 export for analyzer and model-checker findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests natively, so ``repro lint --format sarif`` and
+``repro modelcheck --format sarif`` surface persist-ordering findings as
+first-class code-scanning alerts.
+
+The mapping is lossless for our purposes and round-trippable
+(:func:`diagnostics_from_sarif`): ops are not files, so a finding's
+location is encoded as a virtual artifact URI ``trace://<target>/t<tid>``
+with the op's thread-stream index as the (1-based) line; every
+repro-specific field SARIF has no slot for rides in the result's
+``properties`` bag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Severity -> SARIF result level.
+_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.ADVICE: "note",
+}
+_SEVERITY = {v: k for k, v in _LEVEL.items()}
+
+
+def _location(target: str, tid: int, seq: int) -> Dict[str, object]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": f"trace://{target}/t{tid}"},
+            "region": {"startLine": seq + 1},
+        }
+    }
+
+
+def _diag_result(diag: Diagnostic, target: str) -> Dict[str, object]:
+    return {
+        "ruleId": f"{diag.check}/{diag.rule}",
+        "level": _LEVEL[diag.severity],
+        "message": {"text": diag.message},
+        "locations": [_location(target, diag.tid, diag.seq)],
+        "properties": {
+            "check": diag.check,
+            "rule": diag.rule,
+            "tid": diag.tid,
+            "seq": diag.seq,
+            "gseq": diag.gseq,
+            "op": diag.op,
+            "label": diag.label,
+            "region": diag.region,
+            "estimated_waste": diag.estimated_waste,
+        },
+    }
+
+
+def _run(
+    tool_name: str,
+    rules: List[Dict[str, object]],
+    results: List[Dict[str, object]],
+    properties: Dict[str, object],
+) -> Dict[str, object]:
+    return {
+        "tool": {
+            "driver": {
+                "name": tool_name,
+                "informationUri": "https://github.com/",
+                "version": "1.0.0",
+                "rules": rules,
+            }
+        },
+        "results": results,
+        "properties": properties,
+    }
+
+
+def _document(runs: List[Dict[str, object]]) -> Dict[str, object]:
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": runs,
+    }
+
+
+def _rules_of(results: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    seen: Dict[str, Dict[str, object]] = {}
+    for r in results:
+        rid = r["ruleId"]
+        if rid not in seen:
+            seen[rid] = {
+                "id": rid,
+                "shortDescription": {"text": rid},
+            }
+    return [seen[k] for k in sorted(seen)]
+
+
+def lint_to_sarif(
+    report: AnalysisReport, target: str = "<program>"
+) -> Dict[str, object]:
+    """One ``repro lint`` report as a single-run SARIF 2.1.0 document."""
+    results = [_diag_result(d, target) for d in report.diagnostics]
+    return _document(
+        [
+            _run(
+                "repro-lint",
+                _rules_of(results),
+                results,
+                {
+                    "design": report.design,
+                    "target": target,
+                    "n_ops": report.n_ops,
+                    "n_stores": report.n_stores,
+                },
+            )
+        ]
+    )
+
+
+def modelcheck_to_sarif(reports) -> Dict[str, object]:
+    """Model-check reports (one per design/target) as one SARIF document.
+
+    Divergences carry no op anchor — they indict a *model*, not a trace
+    location — so they anchor on line 1 of the target's virtual artifact.
+    """
+    results: List[Dict[str, object]] = []
+    designs: List[str] = []
+    for rep in reports:
+        designs.append(rep.design)
+        for div in rep.divergences:
+            results.append(
+                {
+                    "ruleId": f"modelcheck/{div.kind}",
+                    "level": "error",
+                    "message": {"text": div.message},
+                    "locations": [_location(rep.target, 0, 0)],
+                    "properties": {
+                        "kind": div.kind,
+                        "design": div.design,
+                        "target": rep.target,
+                        "mutation": rep.mutation,
+                        "detail": div.detail,
+                    },
+                }
+            )
+    return _document(
+        [
+            _run(
+                "repro-modelcheck",
+                _rules_of(results),
+                results,
+                {"designs": designs},
+            )
+        ]
+    )
+
+
+def diagnostics_from_sarif(doc: Dict[str, object]) -> List[Diagnostic]:
+    """Rebuild :class:`Diagnostic` objects from a ``repro-lint`` document.
+
+    The round trip is exact for every field the analyzer emits; it backs
+    the schema regression test and lets downstream tooling treat SARIF
+    as the interchange format without losing repro-specific context.
+    """
+    out: List[Diagnostic] = []
+    for run in doc.get("runs", []):
+        for res in run.get("results", []):
+            props: Dict[str, object] = res.get("properties", {})
+            level = res.get("level", "warning")
+            out.append(
+                Diagnostic(
+                    check=str(props["check"]),
+                    rule=str(props["rule"]),
+                    severity=_SEVERITY[level],
+                    tid=int(props["tid"]),
+                    seq=int(props["seq"]),
+                    gseq=int(props["gseq"]),
+                    message=res["message"]["text"],
+                    op=str(props.get("op", "")),
+                    label=str(props.get("label", "")),
+                    region=int(props.get("region", -1)),
+                    estimated_waste=int(props.get("estimated_waste", 0)),
+                )
+            )
+    return out
+
+
+def report_from_sarif(doc: Dict[str, object]) -> Optional[AnalysisReport]:
+    """Rebuild an :class:`AnalysisReport` from a ``repro-lint`` document."""
+    runs = doc.get("runs", [])
+    if not runs:
+        return None
+    props = runs[0].get("properties", {})
+    report = AnalysisReport(
+        design=str(props.get("design", "")),
+        n_ops=int(props.get("n_ops", 0)),
+        n_stores=int(props.get("n_stores", 0)),
+        diagnostics=diagnostics_from_sarif(doc),
+    )
+    return report

@@ -173,11 +173,70 @@ class Coordinator:
                 attempt=replayed.coordinator_starts + 1,
                 pid=os.getpid(),
             )
+            if replayed.coordinator_starts == 0:
+                self._lint_preflight(journal)
             if self.spec.kind == "sweep":
                 return self._run_sweep(journal, replayed)
             return self._run_soak(journal, replayed)
         finally:
             journal.close()
+
+    def _lint_preflight(self, journal: CampaignJournal) -> None:
+        """Journal a static lint verdict per distinct campaign cell.
+
+        Mirrors the chaos harness's pre-flight: before any cycle is
+        simulated, every (workload, design, model) the campaign will run
+        is analyzed and its verdict written to the WAL — a correct
+        design must lint without ERRORs, NON-ATOMIC must lint *with*
+        them.  Only the first coordinator life journals (the replay path
+        ignores unknown event types, so old journals stay readable); a
+        lint crash must not take the campaign down, so failures are
+        journaled as such rather than raised.
+        """
+        from repro.analysis import analyze
+        from repro.chaos.harness import CHAOS_CFG
+        from repro.workloads import WORKLOADS, generate_for_design
+
+        if self.spec.kind == "sweep":
+            combos = sorted(
+                {
+                    (c.benchmark, c.design, c.model)
+                    for c in self.spec.sweep_cells()
+                }
+            )
+            cfg_of = {
+                (c.benchmark, c.design, c.model): c.workload_cfg()
+                for c in self.spec.sweep_cells()
+            }
+        else:
+            pool = design_pool_for(self.spec.soak_design_pool())
+            combos = sorted(
+                (self.spec.workload, design, "txn") for design in pool
+            )
+            cfg_of = {combo: CHAOS_CFG for combo in combos}
+        for benchmark, design, model in combos:
+            try:
+                run = generate_for_design(
+                    WORKLOADS[benchmark], cfg_of[(benchmark, design, model)],
+                    design, model,
+                )
+                report = analyze(run.program, design=design)
+            except Exception as exc:  # pragma: no cover - defensive
+                journal.append(
+                    "lint",
+                    cell=f"{benchmark}/{design}/{model}",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            journal.append(
+                "lint",
+                cell=f"{benchmark}/{design}/{model}",
+                design=design,
+                errors=len(report.errors),
+                warnings=len(report.warnings),
+                advisories=len(report.advisories),
+                consistent=(len(report.errors) > 0) == (design == "non-atomic"),
+            )
 
     # -- sweep campaigns ---------------------------------------------------
 

@@ -203,3 +203,15 @@ class CrashState:
             "in_flight_stores": len(self.in_flight),
             "occupancy": self.occupancy,
         }
+
+    def durable_keys(self) -> List[Tuple[int, int]]:
+        """Stable ``(tid, seq)`` coordinates of the durable frontier.
+
+        The model checker compares machine frontiers against the formal
+        models by op identity, not by :class:`StoreRecord`.
+        """
+        return [(r.op.tid, r.op.seq) for r in self.durable]
+
+    def in_flight_keys(self) -> List[Tuple[int, int]]:
+        """Stable ``(tid, seq)`` coordinates of retired-but-volatile stores."""
+        return [(r.op.tid, r.op.seq) for r in self.in_flight]

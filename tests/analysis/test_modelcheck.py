@@ -1,0 +1,124 @@
+"""Model checker: corpus agreement, mutation teeth, budget degradation."""
+
+import pytest
+
+from repro.analysis.litmus import LITMUS
+from repro.analysis.modelcheck import (
+    MUTATIONS,
+    check_corpus,
+    check_litmus,
+    check_program,
+)
+from repro.core.ops import Op, OpKind, Program
+from repro.sim.machine import DESIGNS
+
+
+class TestCorpusAgreement:
+    """The CI gate: every litmus case, every design, zero divergences."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return list(check_corpus(sorted(DESIGNS), oracle_samples=2))
+
+    def test_every_report_agrees(self, reports):
+        bad = [r for r in reports if not r.agree]
+        assert not bad, "\n".join(r.render() for r in bad)
+
+    def test_covers_the_full_matrix(self, reports):
+        assert len(reports) == len(LITMUS) * len(DESIGNS)
+
+    def test_states_fully_enumerated_on_litmus_sizes(self, reports):
+        assert all(r.exhaustive for r in reports)
+        assert all(
+            r.declarative_states == r.operational_states for r in reports
+        )
+
+    def test_oracle_runs_on_clean_programs_and_skips_on_buggy(self, reports):
+        ran = [r for r in reports if r.oracle_samples > 0]
+        skipped = [r for r in reports if r.oracle_skipped is not None]
+        assert ran, "no machine frontier was ever cross-checked"
+        assert skipped, "buggy cases should skip the oracle with a reason"
+        for r in skipped:
+            assert r.oracle_samples == 0
+            assert "lint" in r.oracle_skipped
+
+
+class TestMutationsAreCaught:
+    """A deliberately seeded semantics bug must surface as a divergence."""
+
+    CATCHES = {
+        # dropped persist barriers lose Eq. 1 edges operationally
+        "drop-barrier": ("unflushed-clean", "strandweaver"),
+        # dropped joins lose Eq. 2 edges operationally
+        "drop-join": ("recovery-rollback-flushed", "strandweaver"),
+        # ignored NewStrand keeps stores on one strand: the operational
+        # model gains edges the axioms do not impose
+        "ignore-newstrand": ("strand-discarded-barrier", "strandweaver"),
+    }
+
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    def test_each_mutation_diverges_on_a_witness_case(self, mutation):
+        case, design = self.CATCHES[mutation]
+        (report,) = check_litmus(
+            case, designs=[design], mutate=mutation, oracle_samples=0
+        )
+        assert not report.agree
+        kinds = {d.kind for d in report.divergences}
+        assert kinds <= {"order-pair", "state-family"}
+        assert report.mutation == mutation
+
+    def test_unknown_mutation_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation"):
+            check_program(
+                LITMUS["unflushed-clean"].build(),
+                "strandweaver",
+                mutate="drop-everything",
+            )
+
+
+class TestBudget:
+    def test_tiny_budget_degrades_to_pairwise_checking(self):
+        p = Program(1)
+        for i in range(10):
+            p.emit(0, Op(OpKind.STORE, addr=0x1000 + 64 * i, size=8))
+        report = check_program(p, "strandweaver", budget=4, oracle_samples=0)
+        assert not report.exhaustive
+        assert report.declarative_states is None
+        assert report.agree  # pairwise comparison still ran and agreed
+
+    def test_roomy_budget_enumerates(self):
+        report = check_program(
+            LITMUS["unflushed-clean"].build(),
+            "strandweaver",
+            oracle_samples=0,
+        )
+        assert report.exhaustive
+        assert report.declarative_states is not None
+        assert report.declarative_states >= 1  # the empty state at least
+
+
+class TestReportShape:
+    def test_json_document_carries_the_schema_and_verdict(self):
+        (report,) = check_litmus("unflushed-clean", oracle_samples=1)
+        doc = report.to_json()
+        assert doc["schema"] == "repro.modelcheck/1"
+        assert doc["agree"] is True
+        assert doc["design"] == "strandweaver"
+        assert doc["divergences"] == []
+        assert doc["n_stores"] == report.n_stores
+
+    def test_divergences_serialise_with_kind_and_detail(self):
+        (report,) = check_litmus(
+            "unflushed-clean",
+            designs=["strandweaver"],
+            mutate="drop-barrier",
+            oracle_samples=0,
+        )
+        doc = report.to_json()
+        assert doc["agree"] is False
+        assert doc["mutation"] == "drop-barrier"
+        for div in doc["divergences"]:
+            assert div["kind"] in ("order-pair", "state-family")
+            assert div["design"] == "strandweaver"
+            assert div["message"]
+            assert isinstance(div["detail"], dict)

@@ -1,0 +1,164 @@
+"""Repair engine: one verified end-to-end repair per diagnostic class."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.litmus import LITMUS
+from repro.analysis.repair import Edit, apply_edits, repair
+from repro.core.ops import Op, OpKind, Program
+
+
+def _repair(name, **kw):
+    case = LITMUS[name]
+    kw.setdefault("oracle_samples", 2)
+    return repair(case.build(), case.design, target=name, **kw)
+
+
+class TestUnflushedRepairs:
+    def test_never_flushed_gets_a_covering_clwb(self):
+        result = _repair("unflushed-no-clwb")
+        assert result.verified
+        assert result.lint_quiet
+        inserted = [e for e in result.edits if e.action == "insert"]
+        assert any(e.kind is OpKind.CLWB for e in inserted)
+        # the CLWB covers the orphaned store's footprint
+        clwb = next(e for e in inserted if e.kind is OpKind.CLWB)
+        assert clwb.size > 0
+
+    def test_unordered_commit_gets_an_ordering_primitive(self):
+        result = _repair("unflushed-unordered-commit")
+        assert result.verified
+        inserted = {e.kind for e in result.edits if e.action == "insert"}
+        assert inserted & {OpKind.PERSIST_BARRIER, OpKind.JOIN_STRAND}
+
+
+class TestStrandMisuseRepairs:
+    def test_discarded_barrier_drops_the_new_strand(self):
+        result = _repair("strand-discarded-barrier")
+        assert result.verified
+        assert any(e.action == "delete" for e in result.edits)
+
+    def test_join_nothing_drops_the_join(self):
+        result = _repair("strand-join-nothing")
+        assert result.verified
+        assert any(e.action == "delete" for e in result.edits)
+
+    def test_unordered_pair_gets_an_ordering_primitive(self):
+        result = _repair("strand-unordered-pair")
+        assert result.verified
+        inserted = {e.kind for e in result.edits if e.action == "insert"}
+        assert inserted & {OpKind.PERSIST_BARRIER, OpKind.JOIN_STRAND}
+
+
+class TestOverSerializationRepairs:
+    """Performance repairs are priced in measured simulator cycles."""
+
+    def test_redundant_flush_deletion_saves_measured_cycles(self):
+        result = _repair("overser-double-clwb")
+        assert result.verified
+        assert all(e.action == "delete" for e in result.edits)
+        assert result.cycles_saved is not None
+        assert result.cycles_saved > 0
+
+    def test_empty_barrier_deletion_saves_measured_cycles(self):
+        result = _repair("overser-empty-pb")
+        assert result.verified
+        assert result.cycles_saved is not None
+        assert result.cycles_saved > 0
+
+    def test_back_to_back_fence_deletion_never_regresses(self):
+        result = _repair("overser-b2b-sfence")
+        assert result.verified
+        assert result.cycles_saved is not None
+        assert result.cycles_saved >= 0
+
+
+class TestUnrepairableClasses:
+    def test_persist_race_is_reported_not_guessed_at(self):
+        result = _repair("race-unlocked")
+        assert not result.verified
+        assert result.unrepaired
+        assert any("locks" in u["reason"] for u in result.unrepaired)
+
+    def test_torn_write_is_reported_not_guessed_at(self):
+        result = _repair("torn-store")
+        assert not result.verified
+        assert any(u["check"] == "torn-write" for u in result.unrepaired)
+
+
+class TestCleanTraceIsAFixpoint:
+    def test_no_edits_on_a_clean_trace(self):
+        result = _repair("unflushed-clean")
+        assert result.verified
+        assert result.edits == []
+        assert result.iterations == 0
+        assert result.cycles_saved is None  # nothing changed, nothing measured
+
+
+class TestApplyEdits:
+    def _base(self):
+        p = Program(1)
+        p.emit(0, Op(OpKind.STORE, addr=0x1000, size=8, label="a"))
+        p.emit(0, Op(OpKind.STORE, addr=0x1040, size=8, label="b"))
+        return p
+
+    def test_insert_goes_before_the_index(self):
+        out = apply_edits(
+            self._base(), [Edit("insert", 0, 1, kind=OpKind.PERSIST_BARRIER)]
+        )
+        kinds = [op.kind for op in out.threads[0].ops]
+        assert kinds == [OpKind.STORE, OpKind.PERSIST_BARRIER, OpKind.STORE]
+        # sequences are renumbered contiguously
+        assert [op.seq for op in out.threads[0].ops] == [0, 1, 2]
+
+    def test_index_past_the_end_appends(self):
+        out = apply_edits(
+            self._base(), [Edit("insert", 0, 2, kind=OpKind.JOIN_STRAND)]
+        )
+        assert out.threads[0].ops[-1].kind is OpKind.JOIN_STRAND
+
+    def test_delete_removes_exactly_that_op(self):
+        out = apply_edits(self._base(), [Edit("delete", 0, 0)])
+        labels = [op.label for op in out.threads[0].ops]
+        assert labels == ["b"]
+
+    def test_clwb_insert_carries_addr_and_size(self):
+        out = apply_edits(
+            self._base(),
+            [Edit("insert", 0, 1, kind=OpKind.CLWB, addr=0x1000, size=8)],
+        )
+        clwb = out.threads[0].ops[1]
+        assert clwb.kind is OpKind.CLWB
+        assert (clwb.addr, clwb.size) == (0x1000, 8)
+
+    def test_op_payloads_survive_the_rebuild(self):
+        base = self._base()
+        out = apply_edits(base, [])
+        src, dst = base.threads[0].ops[0], out.threads[0].ops[0]
+        assert (src.addr, src.size, src.label) == (dst.addr, dst.size, dst.label)
+        assert src.data == dst.data
+
+    def test_unknown_action_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown edit action"):
+            apply_edits(self._base(), [Edit("swap", 0, 0)])
+
+
+class TestRepairedTraceIsCrashSafe:
+    """The acceptance bar: lint-clean, model-check-clean, oracle-clean."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "unflushed-no-clwb",
+            "strand-unordered-pair",
+            "overser-double-clwb",
+        ],
+    )
+    def test_repaired_program_passes_every_gate(self, name):
+        result = _repair(name)
+        assert result.verified
+        report = analyze(result.program, design=LITMUS[name].design)
+        assert report.ok
+        # modelcheck_clean above already includes the machine-crash oracle
+        # (oracle_samples=2 frontier cross-checks via durable_cut)
+        assert result.modelcheck_clean

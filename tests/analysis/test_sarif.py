@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 export: schema shape, level mapping, exact round trip."""
+
+import json
+
+from repro.analysis import analyze
+from repro.analysis.litmus import LITMUS
+from repro.analysis.modelcheck import check_litmus
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    diagnostics_from_sarif,
+    lint_to_sarif,
+    modelcheck_to_sarif,
+    report_from_sarif,
+)
+
+
+def _lint(name):
+    case = LITMUS[name]
+    return analyze(case.build(), design=case.design)
+
+
+class TestLintExport:
+    def test_document_shape(self):
+        doc = lint_to_sarif(_lint("unflushed-no-clwb"), target="unflushed-no-clwb")
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"], "the buggy case must export findings"
+
+    def test_levels_follow_severity(self):
+        report = _lint("unflushed-no-clwb")
+        doc = lint_to_sarif(report, target="t")
+        levels = {r["level"] for r in doc["runs"][0]["results"]}
+        assert levels <= {"error", "warning", "note"}
+        assert "error" in levels  # unflushed-persist is an ERROR
+
+    def test_rules_are_deduplicated_and_sorted(self):
+        doc = lint_to_sarif(_lint("overser-double-clwb"), target="t")
+        rules = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+        assert rules == sorted(set(rules))
+
+    def test_locations_use_virtual_trace_uris(self):
+        doc = lint_to_sarif(_lint("unflushed-no-clwb"), target="case")
+        loc = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].startswith("trace://case/t")
+        assert loc["region"]["startLine"] >= 1
+
+    def test_document_is_json_serialisable(self):
+        doc = lint_to_sarif(_lint("race-unlocked"), target="t")
+        json.dumps(doc)  # no sets, enums, or other non-JSON types
+
+
+class TestRoundTrip:
+    def test_diagnostics_survive_exactly(self):
+        report = _lint("unflushed-no-clwb")
+        doc = lint_to_sarif(report, target="t")
+        assert diagnostics_from_sarif(doc) == report.diagnostics
+
+    def test_round_trip_over_every_litmus_case(self):
+        for name in sorted(LITMUS):
+            report = _lint(name)
+            back = report_from_sarif(lint_to_sarif(report, target=name))
+            assert back.diagnostics == report.diagnostics, name
+            assert back.design == report.design
+            assert back.n_ops == report.n_ops
+            assert back.n_stores == report.n_stores
+
+    def test_empty_document_yields_no_report(self):
+        assert report_from_sarif({"runs": []}) is None
+        assert diagnostics_from_sarif({"runs": []}) == []
+
+
+class TestModelcheckExport:
+    def test_agreeing_reports_export_zero_results(self):
+        reports = check_litmus("unflushed-clean", oracle_samples=0)
+        doc = modelcheck_to_sarif(reports)
+        assert doc["version"] == SARIF_VERSION
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-modelcheck"
+        assert run["results"] == []
+
+    def test_divergences_export_as_error_results(self):
+        reports = check_litmus(
+            "unflushed-clean",
+            designs=["strandweaver"],
+            mutate="drop-barrier",
+            oracle_samples=0,
+        )
+        doc = modelcheck_to_sarif(reports)
+        results = doc["runs"][0]["results"]
+        assert results
+        for res in results:
+            assert res["ruleId"].startswith("modelcheck/")
+            assert res["level"] == "error"
+            assert res["properties"]["mutation"] == "drop-barrier"
+        json.dumps(doc)

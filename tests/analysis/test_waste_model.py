@@ -1,0 +1,70 @@
+"""Satellite: estimated_waste vs cycles the simulator actually measures.
+
+The linter's ``estimated_waste`` counts redundant primitives, not cycles.
+The repair engine deletes exactly those primitives and re-measures the
+trace on the cycle-accurate simulator, so the two models can be held
+against each other: every wasted primitive must cost a bounded,
+non-negative number of real cycles, and the waste model must not cry
+wolf on traces whose removal saves nothing *negative* (a deletion may be
+latency-hidden — cost 0 — but must never slow the trace down).
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.litmus import LITMUS
+from repro.analysis.repair import repair
+
+#: litmus twins whose only defect is redundant ordering/flush primitives.
+WASTEFUL = [
+    "overser-double-clwb",
+    "overser-empty-pb",
+    "overser-b2b-sfence",
+    "retry-double-flush",
+]
+
+#: ceiling on cycles one redundant primitive can cost on the simulator
+#: (a full flush round-trip is ~100 cycles; retry-double-flush's
+#: redundant CLWB re-drains a deep queue and tops out under 200).
+CYCLES_PER_WASTE_UNIT = 200
+
+
+def _measured(name):
+    case = LITMUS[name]
+    report = analyze(case.build(), design=case.design)
+    result = repair(case.build(), case.design, target=name, oracle_samples=0)
+    return report, result
+
+
+class TestWasteModelAgainstTheSimulator:
+    @pytest.mark.parametrize("name", WASTEFUL)
+    def test_repair_removes_exactly_the_estimated_waste(self, name):
+        report, result = _measured(name)
+        assert report.estimated_waste > 0
+        deletions = [e for e in result.edits if e.action == "delete"]
+        assert len(deletions) == report.estimated_waste
+
+    @pytest.mark.parametrize("name", WASTEFUL)
+    def test_measured_savings_fall_in_the_tolerance_band(self, name):
+        report, result = _measured(name)
+        assert result.cycles_saved is not None
+        assert 0 <= result.cycles_saved
+        assert result.cycles_saved <= report.estimated_waste * CYCLES_PER_WASTE_UNIT
+
+    def test_the_waste_model_finds_real_cycles_somewhere(self):
+        """At least part of the corpus converts waste units into cycles."""
+        total = 0
+        for name in WASTEFUL:
+            _, result = _measured(name)
+            total += result.cycles_saved or 0
+        assert total > 0
+
+    @pytest.mark.parametrize(
+        "dirty,clean",
+        [("retry-double-flush", "retry-reflush-clean")],
+    )
+    def test_clean_twin_reports_zero_waste(self, dirty, clean):
+        dirty_report = analyze(LITMUS[dirty].build(), design=LITMUS[dirty].design)
+        clean_report = analyze(LITMUS[clean].build(), design=LITMUS[clean].design)
+        assert dirty_report.estimated_waste > 0
+        assert clean_report.estimated_waste == 0

@@ -141,6 +141,52 @@ class TestSoakCampaign:
         assert outcome.result_doc == serial
 
 
+class TestLintPreflight:
+    def test_sweep_journals_one_lint_record_per_cell_combo(self, tmp_path):
+        spec = _sweep_spec()
+        _, d = _run(tmp_path, spec)
+        lints = [
+            r for r in read_journal(os.path.join(d, "journal.jsonl"))
+            if r["event"] == "lint"
+        ]
+        # queue x {intel-x86, strandweaver} x txn = 2 distinct combos
+        assert len(lints) == 2
+        assert sorted(r["cell"] for r in lints) == [
+            "queue/intel-x86/txn",
+            "queue/strandweaver/txn",
+        ]
+        for r in lints:
+            assert r["consistent"] is True  # correct designs lint clean
+            assert r["errors"] == 0
+
+    def test_soak_preflight_covers_the_design_pool(self, tmp_path):
+        spec = _soak_spec(designs=["strandweaver", "non-atomic"])
+        _, d = _run(tmp_path, spec)
+        lints = [
+            r for r in read_journal(os.path.join(d, "journal.jsonl"))
+            if r["event"] == "lint"
+        ]
+        by_design = {r["design"]: r for r in lints}
+        assert set(by_design) == {"strandweaver", "non-atomic"}
+        # non-atomic is *supposed* to error; silence there is the anomaly
+        assert by_design["non-atomic"]["errors"] > 0
+        assert all(r["consistent"] for r in lints)
+
+    def test_preflight_runs_in_the_first_life_only(self, tmp_path):
+        spec = _sweep_spec()
+        outcome, d = _run(tmp_path, spec)
+        journal = os.path.join(d, "journal.jsonl")
+        before = sum(
+            1 for r in read_journal(journal) if r["event"] == "lint"
+        )
+        Coordinator(d, "c-1", spec).run()  # resume of a finished campaign
+        after = sum(
+            1 for r in read_journal(journal) if r["event"] == "lint"
+        )
+        assert before == 2
+        assert after == before  # no duplicate pre-flight on resume
+
+
 class TestResumeMidway:
     def test_partially_journaled_sweep_resumes_exactly_once(self, tmp_path):
         """Simulate a crash by truncating the journal after one cell-done."""
@@ -149,9 +195,14 @@ class TestResumeMidway:
         journal = os.path.join(d, "journal.jsonl")
         bytes_full = open(outcome.result_path, "rb").read()
         lines = open(journal, encoding="utf-8").read().splitlines(keepends=True)
-        # keep created, coordinator-start, first cell-done; drop the rest
+        # keep everything up to and including the first cell-done (the
+        # preamble also holds created/coordinator-start/lint pre-flight
+        # records); drop the rest
+        first_done = next(
+            i for i, ln in enumerate(lines) if '"cell-done"' in ln
+        )
         with open(journal, "w", encoding="utf-8") as fh:
-            fh.writelines(lines[:3])
+            fh.writelines(lines[: first_done + 1])
         os.unlink(outcome.result_path)
 
         outcome2 = Coordinator(d, "c-1", spec).run()
