@@ -109,11 +109,15 @@ def lines_of(addr: int, size: int) -> Tuple[int, ...]:
         return ()
     first = addr // CACHE_LINE
     last = (addr + size - 1) // CACHE_LINE
+    if first == last:
+        return (first,)
     return tuple(range(first, last + 1))
 
 
 def split_at_lines(addr: int, data: bytes) -> List[Tuple[int, bytes]]:
     """Split ``(addr, data)`` into per-cache-line ``(addr, chunk)`` pieces."""
+    if addr % CACHE_LINE + len(data) <= CACHE_LINE:
+        return [(addr, data)]
     pieces: List[Tuple[int, bytes]] = []
     offset = 0
     while offset < len(data):
@@ -124,7 +128,7 @@ def split_at_lines(addr: int, data: bytes) -> List[Tuple[int, bytes]]:
     return pieces
 
 
-@dataclass
+@dataclass(slots=True)
 class Op:
     """One micro-operation in a thread's instruction stream.
 
@@ -266,8 +270,21 @@ class TraceCursor:
     region: int = -1
 
     def _emit(self, op: Op) -> Op:
+        # Inlined Program.emit + ThreadTrace.append: this is the hottest
+        # call in trace generation (one call per micro-op), so the two
+        # delegation layers are flattened.  Semantics are identical.
+        program = self.program
+        tid = self.tid
+        if op.kind is OpKind.LOCK_ACQ:
+            program.lock_order.setdefault(op.lock_id, []).append(tid)
         op.region = self.region
-        return self.program.emit(self.tid, op)
+        op.tid = tid
+        ops = program.threads[tid].ops
+        op.seq = len(ops)
+        op.gseq = program._next_gseq
+        program._next_gseq += 1
+        ops.append(op)
+        return op
 
     def store(
         self, addr: int, data: bytes, label: str = "", on_line_cross: str = "split"

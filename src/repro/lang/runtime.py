@@ -29,6 +29,8 @@ consumed by the timing simulator and the formal persistency model.
 
 from __future__ import annotations
 
+import struct
+
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import List, Tuple
@@ -177,8 +179,6 @@ class PmRuntime:
         self.dialect.pair_separator(state.cursor)
 
     def store_u64(self, tid: int, addr: int, value: int, label: str = "") -> None:
-        import struct
-
         self.store(tid, addr, struct.pack("<Q", value & (2**64 - 1)), label=label)
 
     def load(self, tid: int, addr: int, size: int) -> bytes:
@@ -342,13 +342,9 @@ class Accessor(ABC):
     def write(self, addr: int, data: bytes) -> None: ...
 
     def read_u64(self, addr: int) -> int:
-        import struct
-
         return struct.unpack("<Q", self.read(addr, 8))[0]
 
     def write_u64(self, addr: int, value: int) -> None:
-        import struct
-
         self.write(addr, struct.pack("<Q", value & (2**64 - 1)))
 
 

@@ -1,0 +1,387 @@
+"""Generate once, specialize per dialect.
+
+The four ISA dialects (:mod:`repro.lang.dialect`) differ *only* in which
+fence op each of the runtime's ordering points expands to — one op for
+strand/x86/HOPS, none for non-atomic.  Everything else about a generated
+run (the functional PM image, the lock acquisition order, every
+addressed op, every label, every region id) is dialect-independent: the
+workload logic never observes the dialect, and fences never touch
+memory.
+
+So instead of executing the functional workload once per design, the
+harness executes it **once** under :class:`MarkerDialect` — which stamps
+each ordering point with a tagged placeholder fence — and then
+*specializes* the canonical program per dialect:
+
+* **strand / x86 / hops** replace each marker with the dialect's fence
+  in place.  Every marker expands to exactly one op, so per-thread
+  ``seq`` and global ``gseq`` numbering are unchanged and every
+  non-marker :class:`~repro.core.ops.Op` object is *shared* between the
+  canonical and specialized programs (ops are never mutated after
+  generation; each specialized program still gets its own
+  :class:`~repro.core.ops.ThreadTrace` objects, so per-trace compiled
+  caches stay per-program).
+* **non-atomic** drops the markers, which shifts numbering, so it gets
+  a full copy with ``seq``/``gseq`` renumbered exactly as direct
+  generation would number them.
+
+``tests/sim/test_fastcore_identity.py`` pins that a specialized program
+is op-for-op identical (all fields) to one generated directly with the
+real dialect.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, Optional
+
+from repro.core.ops import ADDRESSED_KINDS, Op, OpKind, Program, ThreadTrace, TraceCursor
+from repro.lang.dialect import IsaDialect
+
+#: label prefix carried by canonical placeholder fences.
+MARK_PREFIX = "mark:"
+
+_PAIR = MARK_PREFIX + "pair"
+_SEP = MARK_PREFIX + "sep"
+_DRAIN = MARK_PREFIX + "drain"
+_COMMIT = MARK_PREFIX + "commit"
+_REGION_END = MARK_PREFIX + "region-end"
+
+
+class MarkerDialect(IsaDialect):
+    """Placeholder dialect: tags ordering points instead of choosing fences.
+
+    The op kind of a marker is irrelevant (markers never reach a
+    simulator); SFENCE is used so marker programs still satisfy trace
+    invariants if inspected.  ``region_begin`` stays the inherited no-op
+    because every concrete dialect also emits nothing there.
+    """
+
+    name = "marker"
+    designs = ()
+
+    def pair_barrier(self, cur: TraceCursor) -> None:
+        cur.sfence().label = _PAIR
+
+    def pair_separator(self, cur: TraceCursor) -> None:
+        cur.sfence().label = _SEP
+
+    def region_drain(self, cur: TraceCursor) -> None:
+        cur.sfence().label = _DRAIN
+
+    def commit_barrier(self, cur: TraceCursor) -> None:
+        cur.sfence().label = _COMMIT
+
+    def region_end(self, cur: TraceCursor) -> None:
+        cur.sfence().label = _REGION_END
+
+
+#: dialect name -> ordering-point label -> concrete fence kind (None: drop).
+#: Mirrors the emission tables of :mod:`repro.lang.dialect` exactly.
+SPECIALIZE_MAP: Dict[str, Dict[str, Optional[OpKind]]] = {
+    "strand": {
+        _PAIR: OpKind.PERSIST_BARRIER,
+        _SEP: OpKind.NEW_STRAND,
+        _DRAIN: OpKind.JOIN_STRAND,
+        _COMMIT: OpKind.PERSIST_BARRIER,
+        _REGION_END: OpKind.JOIN_STRAND,
+    },
+    "x86": {
+        _PAIR: OpKind.SFENCE,
+        _SEP: OpKind.SFENCE,
+        _DRAIN: OpKind.SFENCE,
+        _COMMIT: OpKind.SFENCE,
+        _REGION_END: OpKind.SFENCE,
+    },
+    "hops": {
+        _PAIR: OpKind.OFENCE,
+        _SEP: OpKind.OFENCE,
+        _DRAIN: OpKind.DFENCE,
+        _COMMIT: OpKind.OFENCE,
+        _REGION_END: OpKind.OFENCE,
+    },
+    "non-atomic": {
+        _PAIR: None,
+        _SEP: None,
+        _DRAIN: None,
+        _COMMIT: None,
+        _REGION_END: None,
+    },
+}
+
+
+def specialize(program: Program, dialect_name: str) -> Program:
+    """Rewrite a canonical marker program for one concrete dialect.
+
+    Returns a new :class:`Program`; the canonical program is untouched
+    and can be specialized again for other dialects.
+
+    Specialized programs inherit the canonical program's compiled
+    replay streams and touched-line set wherever they are provably
+    unchanged: addressed ops are dialect-independent (fences carry no
+    address), so ``_touched_lines`` is shared outright, and the
+    per-trace compiled arrays consumed by the native replay core
+    (:mod:`repro.sim.cnative`) are derived by patching or slicing the
+    canonical arrays at the marker sites instead of rescanning every
+    op per dialect.
+    """
+    try:
+        table = SPECIALIZE_MAP[dialect_name]
+    except KeyError:
+        raise ValueError(
+            f"no specialization for dialect {dialect_name!r}; "
+            f"choose from {sorted(SPECIALIZE_MAP)}"
+        ) from None
+    if dialect_name == "non-atomic":
+        out = _specialize_dropping(program, table)
+    else:
+        out = _specialize_in_place(program, table)
+    out._touched_lines = _canon_touched(program)
+    out._touched_arr = program._touched_arr
+    return out
+
+
+def _canon_arrays(trace: ThreadTrace):
+    """Canonical trace compiled to C-ready parallel arrays, cached.
+
+    The list form comes from :func:`repro.sim.fastcore.compile_trace`
+    (and stays cached there for the Python fast path); the array form
+    is what per-dialect derivation slices and patches at C speed.
+    """
+    cached = getattr(trace, "_canon_arrays", None)
+    if cached is None:
+        from repro.sim.fastcore import compile_trace
+
+        kinds, lines, cycles, lock_ids, static = compile_trace(trace)
+        cached = (
+            array("i", kinds),
+            array("q", lines),
+            array("i", cycles),
+            array("i", lock_ids),
+            static,
+        )
+        trace._canon_arrays = cached
+    return cached
+
+
+def _canon_touched(program: Program):
+    """Touched-line set of the canonical program, computed once and
+    shared with every specialization (fences never touch memory)."""
+    touched_sorted = getattr(program, "_touched_lines", None)
+    if touched_sorted is None:
+        addressed = frozenset(int(k) for k in ADDRESSED_KINDS)
+        touched = set()
+        for trace in program.threads:
+            ka, la, _, _, _ = _canon_arrays(trace)
+            for k, ln in zip(ka, la):
+                if k in addressed:
+                    touched.add(ln)
+        touched_sorted = sorted(touched)
+        program._touched_lines = touched_sorted
+    if getattr(program, "_touched_arr", None) is None:
+        program._touched_arr = array("q", touched_sorted)
+    return touched_sorted
+
+
+def _marker_sites(trace: ThreadTrace):
+    """Per-trace marker positions ``[(index, label), ...]``, cached on
+    the canonical trace so each dialect specialization is a C-speed list
+    copy plus point patches instead of a per-op Python scan."""
+    sites = getattr(trace, "_marker_sites", None)
+    if sites is None:
+        sites = [
+            (i, op.label)
+            for i, op in enumerate(trace.ops)
+            if op.label.startswith(MARK_PREFIX)
+        ]
+        trace._marker_sites = sites
+    return sites
+
+
+class _LazyTrace(ThreadTrace):
+    """A specialized thread trace whose op list is built on first use.
+
+    The native replay core consumes only the derived compiled arrays
+    (``_c_arrays``), the shared lock order, and the shared touched-line
+    set — so for simulation-only programs the per-op rewrite never
+    runs.  Consumers that need real :class:`Op` objects (the Python
+    engines, the formal model, crash-image checks) trigger it
+    transparently on first ``.ops`` access.
+    """
+
+    def __init__(self, tid: int, build) -> None:
+        self.tid = tid
+        self._build = build
+
+    def __getattr__(self, name: str):
+        if name == "ops":
+            ops = self._build()
+            self.ops = ops
+            del self._build
+            return ops
+        raise AttributeError(name)
+
+    def __getstate__(self):
+        self.ops  # materialize: closures don't pickle
+        state = dict(self.__dict__)
+        state.pop("_build", None)
+        return state
+
+
+def _in_place_builder(src: ThreadTrace, table):
+    """Deferred op-list rewrite for one-op-per-marker dialects: share
+    every non-marker op, rebuild each marker as the dialect's fence with
+    identical numbering."""
+
+    def build():
+        ops = list(src.ops)
+        for i, label in _marker_sites(src):
+            op = ops[i]
+            fence = Op(table[label])
+            fence.tid = op.tid
+            fence.seq = op.seq
+            fence.gseq = op.gseq
+            fence.region = op.region
+            ops[i] = fence
+        return ops
+
+    return build
+
+
+def _specialize_in_place(program: Program, table) -> Program:
+    """One-op-per-marker dialects: numbering is unchanged, so non-marker
+    ops are shared and only the markers are rebuilt (lazily — see
+    :class:`_LazyTrace`).
+
+    Compiled replay arrays are derived eagerly per trace: ``lines``/
+    ``cycles``/``lock_ids`` are *shared* with the canonical arrays (a
+    fence has no address, no cycles, no lock), ``kinds`` is a memcpy
+    plus point patches, and the static op-mix counters shift only by
+    the strand marks the patched fences introduce.
+    """
+    out = Program(program.n_threads)
+    out._next_gseq = program._next_gseq
+    out.lock_order = {k: list(v) for k, v in program.lock_order.items()}
+    pb, ns = int(OpKind.PERSIST_BARRIER), int(OpKind.NEW_STRAND)
+    threads = []
+    for src in program.threads:
+        ka0, la0, ca0, lka0, st0 = _canon_arrays(src)
+        ka = array("i", ka0)
+        marks = 0
+        for i, label in _marker_sites(src):
+            k2 = int(table[label])
+            ka[i] = k2
+            if k2 == pb or k2 == ns:
+                marks += 1
+        static = dict(st0)
+        static["strand_marks"] = st0["strand_marks"] + marks
+        dst = _LazyTrace(src.tid, _in_place_builder(src, table))
+        dst._c_arrays = (ka, la0, ca0, lka0, static)
+        dst._marker_sites = []  # specialized traces carry no markers
+        threads.append(dst)
+    out.threads = threads
+    return out
+
+
+def _specialize_dropping(program: Program, table) -> Program:
+    """Marker-dropping dialects (non-atomic): every op is copied with
+    ``seq``/``gseq`` renumbered to the contiguous values direct
+    generation would assign.
+
+    Renumbering needs no global merge: direct generation assigns gseq
+    in the canonical emission order restricted to the kept ops, so the
+    new gseq is the old one minus the number of dropped markers that
+    preceded it.  Lock order is unchanged (lock ops are never markers
+    and their relative order is preserved).  Compiled replay arrays are
+    the canonical arrays with the marker slots sliced out.
+    """
+    if any(v is not None for v in table.values()):  # pragma: no cover
+        return _specialize_dropping_generic(program, table)
+    out = Program(program.n_threads)
+    out.lock_order = {k: list(v) for k, v in program.lock_order.items()}
+    dropped = sorted(
+        trace.ops[i].gseq
+        for trace in program.threads
+        for i, _label in _marker_sites(trace)
+    )
+    kept_total = 0
+    threads = []
+    for src in program.threads:
+        sites = [i for i, _label in _marker_sites(src)]
+        kept_total += len(src.ops) - len(sites)
+        ka0, la0, ca0, lka0, st0 = _canon_arrays(src)
+        ka = array("i")
+        la = array("q")
+        ca = array("i")
+        lka = array("i")
+        prev = 0
+        for i in sites + [len(src.ops)]:
+            ka.extend(ka0[prev:i])
+            la.extend(la0[prev:i])
+            ca.extend(ca0[prev:i])
+            lka.extend(lka0[prev:i])
+            prev = i + 1
+        static = dict(st0)
+        static["fences"] = st0["fences"] - len(sites)
+        dst = _LazyTrace(src.tid, _dropping_builder(src, set(sites), dropped))
+        dst._c_arrays = (ka, la, ca, lka, static)
+        dst._marker_sites = []
+        threads.append(dst)
+    out.threads = threads
+    out._next_gseq = kept_total
+    return out
+
+
+def _dropping_builder(src: ThreadTrace, site_set, dropped):
+    """Deferred op-list rewrite for marker-dropping dialects: copy each
+    kept op with ``seq``/``gseq`` renumbered to the contiguous values
+    direct generation would assign (see :func:`_specialize_dropping`)."""
+
+    def build():
+        ops = []
+        append = ops.append
+        seq = 0
+        tid = src.tid
+        for i, op in enumerate(src.ops):
+            if i in site_set:
+                continue
+            gseq = op.gseq
+            append(
+                Op(
+                    op.kind, op.addr, op.size, op.data, op.lock_id,
+                    op.cycles, tid, seq, gseq - bisect_left(dropped, gseq),
+                    op.region, op.label,
+                )
+            )
+            seq += 1
+        return ops
+
+    return build
+
+
+def _specialize_dropping_generic(program: Program, table) -> Program:
+    """Reference emission-based rewrite, kept for marker tables that map
+    some ordering points to real fences while dropping others."""
+    out = Program(program.n_threads)
+    emit = out.emit
+    for op in program.all_ops():
+        label = op.label
+        if label and label.startswith(MARK_PREFIX):
+            if table[label] is not None:
+                emit(op.tid, Op(table[label], region=op.region))
+            continue
+        emit(
+            op.tid,
+            Op(
+                op.kind,
+                addr=op.addr,
+                size=op.size,
+                data=op.data,
+                lock_id=op.lock_id,
+                cycles=op.cycles,
+                region=op.region,
+                label=label,
+            ),
+        )
+    return out

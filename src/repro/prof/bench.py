@@ -11,10 +11,15 @@ ROADMAP-item-1 engine rewrite is steered — and guarded — by this file:
 exits non-zero when total wall time regressed past the threshold (CI
 runs it with a generous 3x bound to absorb runner-speed noise).
 
-Figures are timed cold: the run-cell memo is cleared before each figure
-and the on-disk cache is bypassed, so a measurement is always the real
-cost of simulating that figure's cells.  Cell counts come from the memo
-delta (each unique cell is memoised exactly once).
+Figures are timed simulation-cold: the run-cell memo is cleared before
+each figure and the on-disk cache is bypassed, so a measurement is
+always the real cost of *simulating* that figure's cells.  Generated
+and compiled programs, by contrast, persist across the figures of one
+recorded run — they are per-(benchmark, model, config) artefacts shared
+between figures by design (the paper likewise compiles each benchmark
+once per target), and each program's one-time generation cost lands in
+the first figure that needs it.  Cell counts come from the memo delta
+(each unique cell is memoised exactly once).
 """
 
 from __future__ import annotations
@@ -79,7 +84,7 @@ def resolve_ops(cli_ops: int, default_ops: int = 16) -> int:
 def record_run(ops_per_thread: int = 16) -> Dict[str, object]:
     """Time every bench figure cold; returns one trajectory entry."""
     from repro.harness import figure7, figure8, figure9, figure10, table2
-    from repro.harness.experiment import clear_cache, memo_size
+    from repro.harness.experiment import clear_cache, clear_memo, memo_size
 
     builders = {
         "table2": lambda: table2(ops_per_thread=ops_per_thread),
@@ -91,8 +96,14 @@ def record_run(ops_per_thread: int = 16) -> Dict[str, object]:
     figures: Dict[str, Dict[str, object]] = {}
     total_wall = 0.0
     total_cells = 0
+    clear_cache()
     for name in BENCH_FIGURES:
-        clear_cache()
+        # Simulation is timed cold (the run-cell memo is dropped per
+        # figure); generated + compiled programs are kept — they are
+        # per-(benchmark, model, config) artefacts the figures share by
+        # design, and their one-time cost is inside the first figure
+        # that needs each of them.
+        clear_memo()
         t0 = time.perf_counter()
         builders[name]()
         wall = time.perf_counter() - t0

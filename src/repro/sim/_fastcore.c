@@ -1,0 +1,1067 @@
+/* Native replay core for the StrandWeaver timing simulator.
+ *
+ * A literal port of the verified Python fast path (repro/sim/fastcore.py)
+ * that owns *all* simulator state natively: tag caches, dirty ownership,
+ * bandwidth windows with path-compressed skip chains, PM/DRAM timing,
+ * lock arbitration, per-design persist structures.  The only output is
+ * the per-core dynamic stats block -- the Python layer merges it with the
+ * replay-invariant op-mix totals (see fastcore.compile_trace).
+ *
+ * Bit-identity contract: every floating-point expression mirrors the
+ * reference engine's CPython arithmetic operation-for-operation.  Build
+ * with -ffp-contract=off (no FMA contraction) so doubles round exactly
+ * like CPython's; llrint() under the default FE_TONEAREST mode matches
+ * Python's round-half-to-even.  Data-structure substitutions (sorted
+ * arrays for the reference's filter+sort lists, running maxima for
+ * max()-drain targets) are the same ones fastcore.py proves exact.
+ *
+ * Error protocol: rs_run returns 0 on success, 1 on replay deadlock and
+ * 2 on any unsupported/internal condition.  Non-zero means the Python
+ * caller silently re-runs on the Python engine, which reproduces the
+ * exact exception (or result) -- so the C core never needs to replicate
+ * diagnostics, only fault-free timing.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef int64_t i64;
+typedef int32_t i32;
+typedef uint8_t u8;
+
+/* ---- op kinds (must match repro.core.ops.OpKind) -------------------- */
+enum {
+    K_STORE = 0, K_LOAD = 1, K_CLWB = 2,
+    K_SFENCE = 3, K_PB = 4, K_NS = 5, K_JS = 6, K_OFENCE = 7, K_DFENCE = 8,
+    K_LOCK_ACQ = 9, K_LOCK_REL = 10, K_COMPUTE = 11,
+    K_VSTORE = 12, K_VLOAD = 13,
+};
+
+enum { RC_OK = 0, RC_DEADLOCK = 1, RC_ERR = 2 };
+
+/* =====================================================================
+ * open-addressing hash map: i64 key -> double value
+ * ===================================================================== */
+
+typedef struct {
+    i64 *keys;
+    double *vals;
+    u8 *st;        /* 0 empty, 1 live, 2 tombstone */
+    i64 cap;       /* power of two */
+    i64 live;
+    i64 fill;      /* live + tombstones */
+} Map;
+
+static inline uint64_t mix64(uint64_t x) {
+    x ^= x >> 33; x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33; x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+static int map_init(Map *m, i64 cap0) {
+    i64 cap = 16;
+    while (cap < cap0) cap <<= 1;
+    m->keys = (i64 *)malloc((size_t)cap * sizeof(i64));
+    m->vals = (double *)malloc((size_t)cap * sizeof(double));
+    m->st = (u8 *)calloc((size_t)cap, 1);
+    m->cap = cap; m->live = 0; m->fill = 0;
+    return m->keys && m->vals && m->st ? 0 : -1;
+}
+
+static void map_free(Map *m) {
+    free(m->keys); free(m->vals); free(m->st);
+    m->keys = NULL; m->vals = NULL; m->st = NULL;
+}
+
+static int map_grow(Map *m) {
+    i64 ncap = 16;
+    while (ncap < m->live * 4 + 16) ncap <<= 1;
+    i64 *nk = (i64 *)malloc((size_t)ncap * sizeof(i64));
+    double *nv = (double *)malloc((size_t)ncap * sizeof(double));
+    u8 *ns = (u8 *)calloc((size_t)ncap, 1);
+    if (!nk || !nv || !ns) { free(nk); free(nv); free(ns); return -1; }
+    for (i64 i = 0; i < m->cap; i++) {
+        if (m->st[i] != 1) continue;
+        i64 j = (i64)(mix64((uint64_t)m->keys[i]) & (uint64_t)(ncap - 1));
+        while (ns[j]) j = (j + 1) & (ncap - 1);
+        nk[j] = m->keys[i]; nv[j] = m->vals[i]; ns[j] = 1;
+    }
+    free(m->keys); free(m->vals); free(m->st);
+    m->keys = nk; m->vals = nv; m->st = ns;
+    m->cap = ncap; m->fill = m->live;
+    return 0;
+}
+
+static inline int map_get(const Map *m, i64 key, double *out) {
+    i64 mask = m->cap - 1;
+    i64 j = (i64)(mix64((uint64_t)key) & (uint64_t)mask);
+    for (;;) {
+        u8 s = m->st[j];
+        if (s == 0) return 0;
+        if (s == 1 && m->keys[j] == key) { *out = m->vals[j]; return 1; }
+        j = (j + 1) & mask;
+    }
+}
+
+static inline int map_put(Map *m, i64 key, double val) {
+    if (m->fill * 2 >= m->cap && map_grow(m)) return -1;
+    i64 mask = m->cap - 1;
+    i64 j = (i64)(mix64((uint64_t)key) & (uint64_t)mask);
+    i64 tomb = -1;
+    for (;;) {
+        u8 s = m->st[j];
+        if (s == 0) break;
+        if (s == 2) { if (tomb < 0) tomb = j; }
+        else if (m->keys[j] == key) { m->vals[j] = val; return 0; }
+        j = (j + 1) & mask;
+    }
+    if (tomb >= 0) j = tomb; else m->fill++;
+    m->keys[j] = key; m->vals[j] = val; m->st[j] = 1; m->live++;
+    return 0;
+}
+
+static inline void map_del(Map *m, i64 key) {
+    i64 mask = m->cap - 1;
+    i64 j = (i64)(mix64((uint64_t)key) & (uint64_t)mask);
+    for (;;) {
+        u8 s = m->st[j];
+        if (s == 0) return;
+        if (s == 1 && m->keys[j] == key) { m->st[j] = 2; m->live--; return; }
+        j = (j + 1) & mask;
+    }
+}
+
+/* =====================================================================
+ * growable double ring with O(1) drop-from-front (rob / sq / strand brt:
+ * values are appended monotonically non-decreasing)
+ * ===================================================================== */
+
+typedef struct {
+    double *v;
+    i64 head, len, cap;
+} Ring;
+
+static int ring_init(Ring *r, i64 cap0) {
+    r->v = (double *)malloc((size_t)cap0 * sizeof(double));
+    r->head = 0; r->len = 0; r->cap = cap0;
+    return r->v ? 0 : -1;
+}
+
+static void ring_free(Ring *r) { free(r->v); r->v = NULL; }
+
+static int ring_push(Ring *r, double x) {
+    if (r->head + r->len == r->cap) {
+        if (r->head > r->cap / 2) {
+            memmove(r->v, r->v + r->head, (size_t)r->len * sizeof(double));
+            r->head = 0;
+        } else {
+            i64 ncap = r->cap * 2;
+            double *nv = (double *)realloc(r->v, (size_t)ncap * sizeof(double));
+            if (!nv) return -1;
+            r->v = nv; r->cap = ncap;
+        }
+    }
+    r->v[r->head + r->len++] = x;
+    return 0;
+}
+
+static inline void ring_drop_le(Ring *r, double t) {
+    while (r->len && r->v[r->head] <= t) { r->head++; r->len--; }
+}
+
+#define RING_AT(r, i) ((r)->v[(r)->head + (i)])
+
+/* =====================================================================
+ * sorted dynamic array (ascending) -- the reference keeps these as
+ * plain lists it filters (drop <= t) and sorts (k-th smallest when
+ * full); a sorted array is the same multiset with O(1) both queries.
+ * ===================================================================== */
+
+typedef struct {
+    double *v;
+    i64 head, len, cap;
+} SArr;
+
+static int sarr_init(SArr *s, i64 cap0) {
+    s->v = (double *)malloc((size_t)cap0 * sizeof(double));
+    s->head = 0; s->len = 0; s->cap = cap0;
+    return s->v ? 0 : -1;
+}
+
+static void sarr_free(SArr *s) { free(s->v); s->v = NULL; }
+
+static inline void sarr_drop_le(SArr *s, double t) {
+    while (s->len && s->v[s->head] <= t) { s->head++; s->len--; }
+}
+
+static int sarr_insert(SArr *s, double x) {
+    if (s->head + s->len == s->cap) {
+        if (s->head > s->cap / 2) {
+            memmove(s->v, s->v + s->head, (size_t)s->len * sizeof(double));
+            s->head = 0;
+        } else {
+            i64 ncap = s->cap * 2;
+            double *nv = (double *)realloc(s->v, (size_t)ncap * sizeof(double));
+            if (!nv) return -1;
+            s->v = nv; s->cap = ncap;
+        }
+    }
+    /* binary search for first element > x within [head, head+len) */
+    i64 lo = 0, hi = s->len;
+    double *base = s->v + s->head;
+    while (lo < hi) {
+        i64 mid = (lo + hi) >> 1;
+        if (base[mid] <= x) lo = mid + 1; else hi = mid;
+    }
+    memmove(base + lo + 1, base + lo, (size_t)(s->len - lo) * sizeof(double));
+    base[lo] = x;
+    s->len++;
+    return 0;
+}
+
+static inline void sarr_clear(SArr *s) { s->head = 0; s->len = 0; }
+
+#define SARR_AT(s, i) ((s)->v[(s)->head + (i)])
+
+/* =====================================================================
+ * set-associative LRU tag cache: per-set way arrays in recency order
+ * (index 0 = LRU victim).  Mirrors TagCache's OrderedDict exactly.
+ * ===================================================================== */
+
+typedef struct {
+    i64 *lines;   /* n_sets * assoc, valid ways [0, cnt) per set */
+    u8 *dirty;
+    i32 *cnt;
+    i64 n_sets;
+    i32 assoc;
+} TC;
+
+static int tc_init(TC *c, i64 n_sets, i32 assoc) {
+    c->lines = (i64 *)malloc((size_t)(n_sets * assoc) * sizeof(i64));
+    c->dirty = (u8 *)calloc((size_t)(n_sets * assoc), 1);
+    c->cnt = (i32 *)calloc((size_t)n_sets, sizeof(i32));
+    c->n_sets = n_sets; c->assoc = assoc;
+    return c->lines && c->dirty && c->cnt ? 0 : -1;
+}
+
+static void tc_free(TC *c) {
+    free(c->lines); free(c->dirty); free(c->cnt);
+    c->lines = NULL; c->dirty = NULL; c->cnt = NULL;
+}
+
+static inline i64 tc_set(const TC *c, i64 line) { return line % c->n_sets; }
+
+static inline i32 tc_find(const TC *c, i64 set, i64 line) {
+    const i64 *ws = c->lines + set * c->assoc;
+    i32 n = c->cnt[set];
+    for (i32 i = 0; i < n; i++)
+        if (ws[i] == line) return i;
+    return -1;
+}
+
+/* move way w of `set` to MRU (preserving relative order of the rest) */
+static inline void tc_touch(TC *c, i64 set, i32 w) {
+    i32 n = c->cnt[set];
+    if (w == n - 1) return;
+    i64 *ws = c->lines + set * c->assoc;
+    u8 *ds = c->dirty + set * c->assoc;
+    i64 line = ws[w]; u8 d = ds[w];
+    memmove(ws + w, ws + w + 1, (size_t)(n - 1 - w) * sizeof(i64));
+    memmove(ds + w, ds + w + 1, (size_t)(n - 1 - w));
+    ws[n - 1] = line; ds[n - 1] = d;
+}
+
+/* insert `line`; returns 1 and fills the victim out-params if a way
+ * was evicted, 0 otherwise.  Exact port of TagCache.fill. */
+static inline int tc_fill(TC *c, i64 line, u8 dirty, i64 *v_line, u8 *v_dirty) {
+    i64 set = tc_set(c, line);
+    i32 w = tc_find(c, set, line);
+    i64 *ws = c->lines + set * c->assoc;
+    u8 *ds = c->dirty + set * c->assoc;
+    if (w >= 0) {
+        u8 d = (u8)(ds[w] | dirty);
+        tc_touch(c, set, w);
+        ds[c->cnt[set] - 1] = d;
+        return 0;
+    }
+    int evicted = 0;
+    i32 n = c->cnt[set];
+    if (n >= c->assoc) {
+        *v_line = ws[0]; *v_dirty = ds[0];
+        memmove(ws, ws + 1, (size_t)(n - 1) * sizeof(i64));
+        memmove(ds, ds + 1, (size_t)(n - 1));
+        n--; c->cnt[set] = n;
+        evicted = 1;
+    }
+    ws[n] = line; ds[n] = dirty;
+    c->cnt[set] = n + 1;
+    return evicted;
+}
+
+/* remove way w of `set`; returns its dirty bit */
+static inline u8 tc_remove(TC *c, i64 set, i32 w) {
+    i32 n = c->cnt[set];
+    i64 *ws = c->lines + set * c->assoc;
+    u8 *ds = c->dirty + set * c->assoc;
+    u8 d = ds[w];
+    memmove(ws + w, ws + w + 1, (size_t)(n - 1 - w) * sizeof(i64));
+    memmove(ds + w, ds + w + 1, (size_t)(n - 1 - w));
+    c->cnt[set] = n - 1;
+    return d;
+}
+
+/* =====================================================================
+ * bandwidth resource: windowed capacity accounting with skip chains
+ * (exact port of BandwidthResource.reserve/prune)
+ * ===================================================================== */
+
+typedef struct {
+    Map win;    /* window -> count */
+    Map skip;   /* full window -> next candidate */
+    double iv;
+    i64 capn;
+    i64 floor_w;
+} BW;
+
+static int bw_init(BW *b, double iv, i64 capn) {
+    b->iv = iv; b->capn = capn; b->floor_w = 0;
+    if (map_init(&b->win, 64)) return -1;
+    return map_init(&b->skip, 64);
+}
+
+static void bw_free(BW *b) { map_free(&b->win); map_free(&b->skip); }
+
+static double bw_reserve(BW *b, double t, int *err) {
+    double tt = t > 0.0 ? t : 0.0;
+    i64 w = (i64)(tt / b->iv);
+    double nxt;
+    if (map_get(&b->skip, w, &nxt)) {
+        i64 root = (i64)nxt;
+        double hop;
+        while (map_get(&b->skip, root, &hop)) root = (i64)hop;
+        i64 ww = w;
+        while (map_get(&b->skip, ww, &hop) && (i64)hop != root) {
+            if (map_put(&b->skip, ww, (double)root)) { *err = 1; return t; }
+            ww = (i64)hop;
+        }
+        w = root;
+    }
+    double cv = 0.0;
+    map_get(&b->win, w, &cv);
+    i64 count = (i64)cv + 1;
+    if (map_put(&b->win, w, (double)count)) { *err = 1; return t; }
+    if (count >= b->capn && map_put(&b->skip, w, (double)(w + 1))) {
+        *err = 1; return t;
+    }
+    double wt = (double)w * b->iv;
+    return t > wt ? t : wt;
+}
+
+static void bw_prune(BW *b, double low) {
+    double tt = low > 0.0 ? low : 0.0;
+    i64 w_min = (i64)(tt / b->iv);
+    if (w_min <= b->floor_w) return;
+    for (i64 i = 0; i < b->win.cap; i++)
+        if (b->win.st[i] == 1 && b->win.keys[i] < w_min) {
+            b->win.st[i] = 2; b->win.live--;
+        }
+    for (i64 i = 0; i < b->skip.cap; i++)
+        if (b->skip.st[i] == 1 && b->skip.keys[i] < w_min) {
+            b->skip.st[i] = 2; b->skip.live--;
+        }
+    b->floor_w = w_min;
+}
+
+/* =====================================================================
+ * the machine context
+ * ===================================================================== */
+
+#define OUT_STRIDE 8
+/* out[tid*8 + ...] */
+enum {
+    O_CYCLES = 0, O_L1H = 1, O_L1M = 2, O_PMR = 3,
+    O_STQ = 4, O_STF = 5, O_STD = 6, O_STL = 7,
+};
+
+typedef struct {
+    /* config */
+    int des, n;
+    i64 rob_cap, sq_cap;
+    i64 out_cap, hops_cap, n_bufs, sb_cap, pq_cap;
+    i64 prune_period;
+    double dispatch, hit, lock_cost;
+    double l1_lat, l2_lat, ovl;
+    double w2c, max_backlog, read_lat, dram_lat, coh;
+    int coalesce;
+
+    /* memory system */
+    TC *l1;        /* n cores */
+    TC l2;
+    Map downer;    /* line -> owning tid (value: (double)tid) */
+    BW accept, media, readbw, drambw;
+    Map queued;    /* line -> media_start */
+
+    /* per-core engine state */
+    double *clock, *key;
+    i64 *pc;
+    u8 *st;                 /* 0 runnable, 1 parked, 2 finished */
+    i64 *parked_on;         /* lock index when st==1 */
+    Ring *rob, *sq;
+    double *rob_last, *sq_last;
+    Map *lsr;               /* line -> youngest store retire */
+
+    /* per-design persist state */
+    SArr *outs;             /* x86 / non-atomic / hops / strand-pq */
+    double *out_latest;
+    double *epoch_ready, *oe_max;   /* hops */
+    i64 *oe_n;
+    Ring *brt;              /* n * n_bufs strand buffers */
+    double *b_last, *b_dep;
+    Map *b_linert;
+    i64 *ongoing;
+    double *store_gate, *max_issue, *pq_latest;
+
+    /* locks */
+    i64 n_locks;
+    const i32 *lock_keys, *lock_offs, *lock_tids;
+    i64 *lk_next;
+    double *lk_rel;
+    u8 *lk_held;
+
+    /* stats */
+    i64 *dyn;   /* n * OUT_STRIDE */
+    int err;
+} Ctx;
+
+static i64 lock_index(const Ctx *c, i32 lock_id) {
+    for (i64 i = 0; i < c->n_locks; i++)
+        if (c->lock_keys[i] == lock_id) return i;
+    return -1;
+}
+
+static double pm_write(Ctx *c, double t, i64 line) {
+    double grant = bw_reserve(&c->accept, t, &c->err);
+    if (line >= 0 && c->coalesce) {
+        double pending;
+        if (map_get(&c->queued, line, &pending) && pending > grant)
+            return grant + c->w2c;
+    }
+    double ms = bw_reserve(&c->media, grant, &c->err);
+    double accepted = grant;
+    if (ms - grant > c->max_backlog) accepted = ms - c->max_backlog;
+    if (line >= 0 && map_put(&c->queued, line, ms)) c->err = 1;
+    return accepted + c->w2c;
+}
+
+static double pm_read(Ctx *c, double t) {
+    return bw_reserve(&c->readbw, t, &c->err) + c->read_lat;
+}
+
+static double dram_access(Ctx *c, double t) {
+    return bw_reserve(&c->drambw, t, &c->err) + c->dram_lat;
+}
+
+/* CacheHierarchy._steal_if_remote_dirty */
+static double steal(Ctx *c, int tid, i64 line, double t) {
+    double ov;
+    if (!map_get(&c->downer, line, &ov)) return t;
+    int owner = (int)ov;
+    if (owner == tid) return t;
+    TC *ol1 = &c->l1[owner];
+    i64 set = tc_set(ol1, line);
+    i32 w = tc_find(ol1, set, line);
+    if (w >= 0 && ol1->dirty[set * ol1->assoc + w]) {
+        if (c->des == 2 || c->des == 3) {
+            /* StrandWeaver snoop stall: max over the owner's buffers of
+             * line_drain_time(line, t) -- stale entries are deleted. */
+            double best = t;
+            for (i64 b = 0; b < c->n_bufs; b++) {
+                Map *lr = &c->b_linert[(i64)owner * c->n_bufs + b];
+                double r;
+                if (map_get(lr, line, &r)) {
+                    if (r <= t) map_del(lr, line);
+                    else if (r > best) best = r;
+                }
+            }
+            t = best;
+        }
+        tc_remove(ol1, set, w);   /* invalidate; dirty known true */
+        i64 vl; u8 vd;
+        if (tc_fill(&c->l2, line, 1, &vl, &vd) && vd)
+            pm_write(c, t, vl);   /* to_pm=True; ticket discarded */
+        t += c->coh;
+    }
+    map_del(&c->downer, line);
+    return t;
+}
+
+/* CacheHierarchy.access; served: 0 l1, 1 l2/dram, 2 pm */
+static double access_mem(Ctx *c, int tid, i64 line, int is_write, double t,
+                         int persistent, int *served) {
+    t = steal(c, tid, line, t);
+    TC *l1 = &c->l1[tid];
+    i64 s1 = tc_set(l1, line);
+    i32 w = tc_find(l1, s1, line);
+    if (w >= 0) {
+        tc_touch(l1, s1, w);
+        if (is_write) {
+            l1->dirty[s1 * l1->assoc + c->l1[tid].cnt[s1] - 1] = 1;
+            if (map_put(&c->downer, line, (double)tid)) c->err = 1;
+        }
+        *served = 0;
+        return t + c->l1_lat;
+    }
+    double t1 = t + c->l1_lat;
+    double done;
+    i64 s2 = tc_set(&c->l2, line);
+    i32 w2 = tc_find(&c->l2, s2, line);
+    if (w2 >= 0) {
+        tc_touch(&c->l2, s2, w2);
+        done = t1 + c->l2_lat;
+        *served = 1;
+    } else {
+        if (persistent) { done = pm_read(c, t1 + c->l2_lat); *served = 2; }
+        else { done = dram_access(c, t1 + c->l2_lat); *served = 1; }
+        i64 vl; u8 vd;
+        if (tc_fill(&c->l2, line, 0, &vl, &vd) && vd) {
+            if (persistent) pm_write(c, done, vl);
+            else dram_access(c, done);
+        }
+    }
+    i64 vl1; u8 vd1;
+    if (tc_fill(l1, line, (u8)is_write, &vl1, &vd1)) {
+        i64 vl2; u8 vd2;
+        if (tc_fill(&c->l2, vl1, vd1, &vl2, &vd2) && vd2) {
+            if (persistent) pm_write(c, done, vl2);
+            else dram_access(c, done);
+        }
+    }
+    if (is_write && map_put(&c->downer, line, (double)tid)) c->err = 1;
+    return done;
+}
+
+/* CacheHierarchy.flush */
+static double flush_line(Ctx *c, int tid, i64 line, double t) {
+    t = steal(c, tid, line, t);
+    TC *l1 = &c->l1[tid];
+    i64 s1 = tc_set(l1, line);
+    i32 w = tc_find(l1, s1, line);
+    if (w >= 0) {
+        l1->dirty[s1 * l1->assoc + w] = 0;
+        map_del(&c->downer, line);
+        return t + c->l1_lat;
+    }
+    i64 s2 = tc_set(&c->l2, line);
+    i32 w2 = tc_find(&c->l2, s2, line);
+    if (w2 >= 0) {
+        c->l2.dirty[s2 * c->l2.assoc + w2] = 0;
+        return t + c->l1_lat + c->l2_lat;
+    }
+    return t + c->l1_lat;
+}
+
+static void ctx_free(Ctx *c) {
+    if (c->l1) { for (int i = 0; i < c->n; i++) tc_free(&c->l1[i]); free(c->l1); }
+    tc_free(&c->l2);
+    map_free(&c->downer); map_free(&c->queued);
+    bw_free(&c->accept); bw_free(&c->media);
+    bw_free(&c->readbw); bw_free(&c->drambw);
+    free(c->clock); free(c->key); free(c->pc); free(c->st); free(c->parked_on);
+    if (c->rob) { for (int i = 0; i < c->n; i++) ring_free(&c->rob[i]); free(c->rob); }
+    if (c->sq) { for (int i = 0; i < c->n; i++) ring_free(&c->sq[i]); free(c->sq); }
+    free(c->rob_last); free(c->sq_last);
+    if (c->lsr) { for (int i = 0; i < c->n; i++) map_free(&c->lsr[i]); free(c->lsr); }
+    if (c->outs) { for (int i = 0; i < c->n; i++) sarr_free(&c->outs[i]); free(c->outs); }
+    free(c->out_latest); free(c->epoch_ready); free(c->oe_max); free(c->oe_n);
+    if (c->brt) {
+        for (i64 i = 0; i < (i64)c->n * c->n_bufs; i++) ring_free(&c->brt[i]);
+        free(c->brt);
+    }
+    free(c->b_last); free(c->b_dep);
+    if (c->b_linert) {
+        for (i64 i = 0; i < (i64)c->n * c->n_bufs; i++) map_free(&c->b_linert[i]);
+        free(c->b_linert);
+    }
+    free(c->ongoing); free(c->store_gate); free(c->max_issue); free(c->pq_latest);
+    free(c->lk_next); free(c->lk_rel); free(c->lk_held);
+    free(c->dyn);
+}
+
+/* =====================================================================
+ * entry point
+ * ===================================================================== */
+
+int rs_run(
+    const double *fcfg, const i64 *icfg,
+    const i32 *kinds, const i64 *lines, const i32 *cycles, const i32 *lockids,
+    const i64 *offs,
+    const i32 *lock_keys, const i32 *lock_offs, const i32 *lock_tids,
+    i64 n_locks,
+    const i64 *warm_lines, i64 n_warm,
+    i64 *out)
+{
+    Ctx cx; memset(&cx, 0, sizeof(cx));
+    Ctx *c = &cx;
+    c->des = (int)icfg[0];
+    c->n = (int)icfg[1];
+    c->rob_cap = icfg[2]; c->sq_cap = icfg[3];
+    i64 l1_sets = icfg[4]; i32 l1_assoc = (i32)icfg[5];
+    i64 l2_sets = icfg[6]; i32 l2_assoc = (i32)icfg[7];
+    c->out_cap = icfg[8]; c->hops_cap = icfg[9];
+    c->n_bufs = icfg[10] > 0 ? icfg[10] : 1;
+    c->sb_cap = icfg[11]; c->pq_cap = icfg[12];
+    c->prune_period = icfg[13];
+    i64 accept_cap = icfg[14], media_cap = icfg[15];
+    i64 read_cap = icfg[16], dram_cap = icfg[17];
+    c->dispatch = fcfg[0]; c->hit = fcfg[1]; c->lock_cost = fcfg[2];
+    c->l1_lat = fcfg[3]; c->l2_lat = fcfg[4]; c->ovl = fcfg[5];
+    c->w2c = fcfg[10]; c->max_backlog = fcfg[11];
+    c->read_lat = fcfg[12]; c->dram_lat = fcfg[13];
+    c->coh = fcfg[14];
+    c->coalesce = fcfg[15] != 0.0;
+    int n = c->n, des = c->des;
+    if (n <= 0 || n > 1024 || des < 0 || des > 4) return RC_ERR;
+    c->n_locks = n_locks;
+    c->lock_keys = lock_keys; c->lock_offs = lock_offs; c->lock_tids = lock_tids;
+
+    int rc = RC_ERR;
+    /* ---- allocation ------------------------------------------------- */
+    c->l1 = (TC *)calloc((size_t)n, sizeof(TC));
+    if (!c->l1) goto fail;
+    for (int i = 0; i < n; i++)
+        if (tc_init(&c->l1[i], l1_sets, l1_assoc)) goto fail;
+    if (tc_init(&c->l2, l2_sets, l2_assoc)) goto fail;
+    if (map_init(&c->downer, 1024) || map_init(&c->queued, 1024)) goto fail;
+    if (bw_init(&c->accept, fcfg[6], accept_cap)) goto fail;
+    if (bw_init(&c->media, fcfg[7], media_cap)) goto fail;
+    if (bw_init(&c->readbw, fcfg[8], read_cap)) goto fail;
+    if (bw_init(&c->drambw, fcfg[9], dram_cap)) goto fail;
+    c->clock = (double *)calloc((size_t)n, sizeof(double));
+    c->key = (double *)calloc((size_t)n, sizeof(double));
+    c->pc = (i64 *)calloc((size_t)n, sizeof(i64));
+    c->st = (u8 *)calloc((size_t)n, 1);
+    c->parked_on = (i64 *)calloc((size_t)n, sizeof(i64));
+    c->rob = (Ring *)calloc((size_t)n, sizeof(Ring));
+    c->sq = (Ring *)calloc((size_t)n, sizeof(Ring));
+    c->rob_last = (double *)calloc((size_t)n, sizeof(double));
+    c->sq_last = (double *)calloc((size_t)n, sizeof(double));
+    c->lsr = (Map *)calloc((size_t)n, sizeof(Map));
+    c->outs = (SArr *)calloc((size_t)n, sizeof(SArr));
+    c->out_latest = (double *)calloc((size_t)n, sizeof(double));
+    c->epoch_ready = (double *)calloc((size_t)n, sizeof(double));
+    c->oe_max = (double *)calloc((size_t)n, sizeof(double));
+    c->oe_n = (i64 *)calloc((size_t)n, sizeof(i64));
+    c->ongoing = (i64 *)calloc((size_t)n, sizeof(i64));
+    c->store_gate = (double *)calloc((size_t)n, sizeof(double));
+    c->max_issue = (double *)calloc((size_t)n, sizeof(double));
+    c->pq_latest = (double *)calloc((size_t)n, sizeof(double));
+    c->dyn = (i64 *)calloc((size_t)n * OUT_STRIDE, sizeof(i64));
+    if (!c->clock || !c->key || !c->pc || !c->st || !c->parked_on || !c->rob ||
+        !c->sq || !c->rob_last || !c->sq_last || !c->lsr || !c->outs ||
+        !c->out_latest || !c->epoch_ready || !c->oe_max || !c->oe_n ||
+        !c->ongoing || !c->store_gate || !c->max_issue || !c->pq_latest ||
+        !c->dyn)
+        goto fail;
+    for (int i = 0; i < n; i++) {
+        if (ring_init(&c->rob[i], 256) || ring_init(&c->sq[i], 128)) goto fail;
+        if (map_init(&c->lsr[i], 256)) goto fail;
+        if (sarr_init(&c->outs[i], 64)) goto fail;
+    }
+    if (des == 2 || des == 3) {
+        i64 nb = (i64)n * c->n_bufs;
+        c->brt = (Ring *)calloc((size_t)nb, sizeof(Ring));
+        c->b_last = (double *)calloc((size_t)nb, sizeof(double));
+        c->b_dep = (double *)calloc((size_t)nb, sizeof(double));
+        c->b_linert = (Map *)calloc((size_t)nb, sizeof(Map));
+        if (!c->brt || !c->b_last || !c->b_dep || !c->b_linert) goto fail;
+        for (i64 i = 0; i < nb; i++) {
+            if (ring_init(&c->brt[i], 32)) goto fail;
+            if (map_init(&c->b_linert[i], 64)) goto fail;
+        }
+    }
+    c->lk_next = (i64 *)calloc((size_t)(n_locks ? n_locks : 1), sizeof(i64));
+    c->lk_rel = (double *)calloc((size_t)(n_locks ? n_locks : 1), sizeof(double));
+    c->lk_held = (u8 *)calloc((size_t)(n_locks ? n_locks : 1), 1);
+    if (!c->lk_next || !c->lk_rel || !c->lk_held) goto fail;
+
+    /* ---- warm: pre-fill the shared L2 with clean lines -------------- */
+    for (i64 i = 0; i < n_warm; i++) {
+        i64 vl; u8 vd;
+        tc_fill(&c->l2, warm_lines[i], 0, &vl, &vd);
+    }
+
+    /* ---- replay loop ------------------------------------------------ */
+    {
+        i64 dispatched = 0, next_prune = c->prune_period;
+        for (int i = 0; i < n; i++) {
+            c->key[i] = 0.0;
+            if (offs[i + 1] == offs[i]) c->st[i] = 2;  /* empty trace */
+        }
+        for (;;) {
+            if (c->err) goto fail;
+            int tid = -1;
+            double bk = 0.0;
+            for (int i = 0; i < n; i++)
+                if (c->st[i] == 0 && (tid < 0 || c->key[i] < bk)) {
+                    tid = i; bk = c->key[i];
+                }
+            if (tid < 0) {
+                int parked = 0;
+                for (int i = 0; i < n; i++) if (c->st[i] == 1) parked = 1;
+                rc = parked ? RC_DEADLOCK : RC_OK;
+                if (parked) goto fail;
+                break;
+            }
+
+            const i32 *K = kinds + offs[tid];
+            const i64 *L = lines + offs[tid];
+            const i32 *CY = cycles + offs[tid];
+            const i32 *LK = lockids + offs[tid];
+            i64 pc = c->pc[tid], n_ops = offs[tid + 1] - offs[tid];
+            double clock = c->clock[tid];
+            Ring *rob = &c->rob[tid], *sq = &c->sq[tid];
+            i64 *dyn = c->dyn + (i64)tid * OUT_STRIDE;
+
+            double t = clock + c->dispatch;
+            ring_drop_le(rob, t);
+            if (rob->len >= c->rob_cap) {
+                double slot = RING_AT(rob, rob->len - c->rob_cap);
+                if (slot > t) { dyn[O_STQ] += llrint(slot - t); t = slot; }
+            }
+            double rob_done = t;
+            i32 kind = K[pc];
+
+            if (kind == K_STORE || kind == K_VSTORE) {
+                if (kind == K_STORE && (des == 2 || des == 3)) {
+                    double gate = c->store_gate[tid];
+                    if (gate > t) { dyn[O_STF] += llrint(gate - t); t = gate; }
+                }
+                ring_drop_le(sq, t);
+                double slot = t;
+                if (sq->len >= c->sq_cap) {
+                    slot = RING_AT(sq, sq->len - c->sq_cap);
+                    if (slot > t) dyn[O_STQ] += llrint(slot - t);
+                    else slot = t;
+                }
+                i64 line = L[pc];
+                int served;
+                double done = access_mem(c, tid, line, 1, slot,
+                                         kind == K_STORE, &served);
+                if (served == 0) dyn[O_L1H]++;
+                else { dyn[O_L1M]++; if (served == 2) dyn[O_PMR]++; }
+                ring_drop_le(sq, slot);
+                double retire = done > c->sq_last[tid] ? done : c->sq_last[tid];
+                if (ring_push(sq, retire)) goto fail;
+                c->sq_last[tid] = retire;
+                double prev;
+                if (!map_get(&c->lsr[tid], line, &prev) || retire > prev)
+                    if (map_put(&c->lsr[tid], line, retire)) goto fail;
+                t = slot + c->hit;
+                rob_done = retire;
+
+            } else if (kind == K_CLWB) {
+                i64 line = L[pc];
+                double g;
+                if (map_get(&c->lsr[tid], line, &g) && g > t) t = g;
+                double slot = t;
+                SArr *oset = NULL;
+                if (des == 0 || des == 4) {
+                    oset = &c->outs[tid];
+                    sarr_drop_le(oset, t);
+                    if (oset->len >= c->out_cap) {
+                        slot = SARR_AT(oset, oset->len - c->out_cap);
+                        if (slot > t) dyn[O_STQ] += llrint(slot - t);
+                        else slot = t;
+                    }
+                } else if (des == 1) {
+                    oset = &c->outs[tid];
+                    sarr_drop_le(oset, t);
+                    if (oset->len >= c->hops_cap) {
+                        slot = SARR_AT(oset, oset->len - c->hops_cap);
+                        if (slot > t) dyn[O_STQ] += llrint(slot - t);
+                        else slot = t;
+                    }
+                } else if (des == 3) {
+                    oset = &c->outs[tid];   /* persist-queue completions */
+                    sarr_drop_le(oset, t);
+                    if (oset->len >= c->pq_cap) {
+                        slot = SARR_AT(oset, oset->len - c->pq_cap);
+                        if (slot > t) dyn[O_STQ] += llrint(slot - t);
+                        else slot = t;
+                    }
+                } else {  /* no-persist-queue: CLWB takes a sq slot */
+                    ring_drop_le(sq, t);
+                    if (sq->len >= c->sq_cap) {
+                        slot = RING_AT(sq, sq->len - c->sq_cap);
+                        if (slot > t) dyn[O_STQ] += llrint(slot - t);
+                        else slot = t;
+                    }
+                }
+                double flush_t, issue = 0.0;
+                Ring *brt = NULL;
+                i64 bidx = 0;
+                if (des == 2 || des == 3) {
+                    bidx = (i64)tid * c->n_bufs + c->ongoing[tid];
+                    brt = &c->brt[bidx];
+                    ring_drop_le(brt, slot);
+                    issue = brt->len < c->sb_cap
+                        ? slot : RING_AT(brt, brt->len - c->sb_cap);
+                    flush_t = issue;
+                } else {
+                    flush_t = slot;
+                }
+                double depart = flush_line(c, tid, line, flush_t);
+                if (des == 1) {
+                    if (c->epoch_ready[tid] > depart) depart = c->epoch_ready[tid];
+                } else if (des == 2 || des == 3) {
+                    if (c->b_dep[bidx] > depart) depart = c->b_dep[bidx];
+                }
+                double acked = pm_write(c, depart, line);
+                if (des == 0 || des == 4) {
+                    if (sarr_insert(oset, acked)) goto fail;
+                    if (acked > c->out_latest[tid]) c->out_latest[tid] = acked;
+                    t = slot + 1;
+                    rob_done = t;
+                } else if (des == 1) {
+                    if (sarr_insert(oset, acked)) goto fail;
+                    if (acked > c->out_latest[tid]) c->out_latest[tid] = acked;
+                    c->oe_n[tid]++;
+                    if (acked > c->oe_max[tid]) c->oe_max[tid] = acked;
+                    t = slot + 1;
+                    rob_done = t;
+                } else {
+                    double bl = c->b_last[bidx];
+                    double retire = acked > bl ? acked : bl;
+                    if (ring_push(brt, retire)) goto fail;
+                    c->b_last[bidx] = retire;
+                    double pv;
+                    if (!map_get(&c->b_linert[bidx], line, &pv) || retire > pv)
+                        if (map_put(&c->b_linert[bidx], line, retire)) goto fail;
+                    if (issue > c->max_issue[tid]) c->max_issue[tid] = issue;
+                    if (des == 3) {
+                        double pqc = retire > slot ? retire : slot;
+                        if (sarr_insert(oset, pqc)) goto fail;
+                        if (pqc > c->pq_latest[tid]) c->pq_latest[tid] = pqc;
+                        t = slot + 1;
+                        rob_done = t;
+                    } else {
+                        ring_drop_le(sq, slot);
+                        double sqr = issue > c->sq_last[tid]
+                            ? issue : c->sq_last[tid];
+                        if (ring_push(sq, sqr)) goto fail;
+                        c->sq_last[tid] = sqr;
+                        t = slot + 1;
+                        rob_done = sqr;
+                    }
+                }
+
+            } else if (kind == K_COMPUTE) {
+                t += (double)CY[pc];
+                rob_done = t;
+
+            } else if (kind == K_LOAD || kind == K_VLOAD) {
+                i64 line = L[pc];
+                int served;
+                double done = access_mem(c, tid, line, 0, t,
+                                         kind == K_LOAD, &served);
+                if (served == 0) {
+                    dyn[O_L1H]++;
+                    t = t + c->hit;
+                } else {
+                    dyn[O_L1M]++;
+                    if (served == 2) dyn[O_PMR]++;
+                    t = t + c->hit + (done - t) * c->ovl;
+                }
+                rob_done = done;
+
+            } else if (kind == K_LOCK_ACQ) {
+                i64 li = lock_index(c, LK[pc]);
+                if (li < 0) goto fail;
+                i64 cnt = lock_offs[li + 1] - lock_offs[li];
+                if (c->lk_next[li] >= cnt ||
+                    lock_tids[lock_offs[li] + c->lk_next[li]] != tid ||
+                    c->lk_held[li]) {
+                    c->st[tid] = 1;
+                    c->parked_on[tid] = li;
+                    continue;   /* parked: no state committed */
+                }
+                double grant = t > c->lk_rel[li] ? t : c->lk_rel[li];
+                c->lk_next[li]++;
+                c->lk_held[li] = 1;
+                dyn[O_STL] += llrint(grant - t);
+                t = (t > grant ? t : grant) + c->lock_cost;
+                rob_done = t;
+
+            } else if (kind == K_LOCK_REL) {
+                i64 li = lock_index(c, LK[pc]);
+                if (li < 0) goto fail;
+                t += c->hit;
+                rob_done = t;
+                if (t > c->lk_rel[li]) c->lk_rel[li] = t;
+                c->lk_held[li] = 0;
+
+            } else {  /* fence kinds */
+                if (des == 4) {
+                    /* non-atomic tolerates stray fences as no-ops */
+                } else if (kind == K_SFENCE && des == 0) {
+                    double done = t > c->out_latest[tid]
+                        ? t : c->out_latest[tid];
+                    if (c->sq_last[tid] > done) done = c->sq_last[tid];
+                    if (done > t) dyn[O_STF] += llrint(done - t);
+                    sarr_clear(&c->outs[tid]);
+                    t = done;
+                } else if (kind == K_OFENCE && des == 1) {
+                    if (c->oe_n[tid]) {
+                        if (c->oe_max[tid] > c->epoch_ready[tid])
+                            c->epoch_ready[tid] = c->oe_max[tid];
+                        c->oe_n[tid] = 0;
+                        c->oe_max[tid] = 0.0;
+                    }
+                    t = t + 1;
+                } else if (kind == K_DFENCE && des == 1) {
+                    double done = t > c->out_latest[tid]
+                        ? t : c->out_latest[tid];
+                    if (done > t) dyn[O_STD] += llrint(done - t);
+                    sarr_clear(&c->outs[tid]);
+                    c->oe_n[tid] = 0;
+                    c->oe_max[tid] = 0.0;
+                    if (done > c->epoch_ready[tid]) c->epoch_ready[tid] = done;
+                    t = done;
+                } else if (kind == K_PB && (des == 2 || des == 3)) {
+                    i64 bidx = (i64)tid * c->n_bufs + c->ongoing[tid];
+                    double bl = c->b_last[bidx];
+                    double bdone = t > bl ? t : bl;
+                    if (bdone > c->b_dep[bidx]) c->b_dep[bidx] = bdone;
+                    if (des == 3) {
+                        if (sarr_insert(&c->outs[tid], t + 1)) goto fail;
+                        if (t + 1 > c->pq_latest[tid]) c->pq_latest[tid] = t + 1;
+                    }
+                    if (c->max_issue[tid] > c->store_gate[tid])
+                        c->store_gate[tid] = c->max_issue[tid];
+                    t = t + 1;
+                } else if (kind == K_NS && (des == 2 || des == 3)) {
+                    c->ongoing[tid] = (c->ongoing[tid] + 1) % c->n_bufs;
+                    if (des == 3) {
+                        if (sarr_insert(&c->outs[tid], t + 1)) goto fail;
+                        if (t + 1 > c->pq_latest[tid]) c->pq_latest[tid] = t + 1;
+                    }
+                    t = t + 1;
+                } else if (kind == K_JS && (des == 2 || des == 3)) {
+                    double done;
+                    if (des == 3) {
+                        done = t > c->pq_latest[tid] ? t : c->pq_latest[tid];
+                    } else {
+                        double bmax = 0.0;
+                        for (i64 b = 0; b < c->n_bufs; b++) {
+                            double v = c->b_last[(i64)tid * c->n_bufs + b];
+                            if (v > bmax) bmax = v;
+                        }
+                        done = t > bmax ? t : bmax;
+                    }
+                    if (c->sq_last[tid] > done) done = c->sq_last[tid];
+                    if (done > t) dyn[O_STD] += llrint(done - t);
+                    c->store_gate[tid] = 0.0;
+                    t = done;
+                } else {
+                    goto fail;  /* wrong fence for design: Python raises */
+                }
+                rob_done = t;
+            }
+
+            /* ROB push: rob.push(min(t, rob_done), rob_done) */
+            {
+                double t2 = t < rob_done ? t : rob_done;
+                ring_drop_le(rob, t2);
+                double rr = rob_done > c->rob_last[tid]
+                    ? rob_done : c->rob_last[tid];
+                if (ring_push(rob, rr)) goto fail;
+                c->rob_last[tid] = rr;
+            }
+            clock = t;
+            pc++;
+            if (pc >= n_ops) {
+                /* end of trace: domain.drain_all */
+                double done;
+                if (des == 0 || des == 4) {
+                    done = clock > c->out_latest[tid]
+                        ? clock : c->out_latest[tid];
+                    if (done > clock) dyn[O_STD] += llrint(done - clock);
+                    sarr_clear(&c->outs[tid]);
+                } else if (des == 1) {
+                    done = clock > c->out_latest[tid]
+                        ? clock : c->out_latest[tid];
+                    if (done > clock) dyn[O_STD] += llrint(done - clock);
+                    sarr_clear(&c->outs[tid]);
+                    c->oe_n[tid] = 0;
+                    c->oe_max[tid] = 0.0;
+                    if (done > c->epoch_ready[tid]) c->epoch_ready[tid] = done;
+                } else if (des == 3) {
+                    done = clock > c->pq_latest[tid]
+                        ? clock : c->pq_latest[tid];
+                    if (c->sq_last[tid] > done) done = c->sq_last[tid];
+                    if (done > clock) dyn[O_STD] += llrint(done - clock);
+                    c->store_gate[tid] = 0.0;
+                } else {
+                    double bmax = 0.0;
+                    for (i64 b = 0; b < c->n_bufs; b++) {
+                        double v = c->b_last[(i64)tid * c->n_bufs + b];
+                        if (v > bmax) bmax = v;
+                    }
+                    done = clock > bmax ? clock : bmax;
+                    if (c->sq_last[tid] > done) done = c->sq_last[tid];
+                    if (done > clock) dyn[O_STD] += llrint(done - clock);
+                    c->store_gate[tid] = 0.0;
+                }
+                clock = done;
+                c->st[tid] = 2;
+            }
+            c->clock[tid] = clock;
+            c->key[tid] = clock;
+            c->pc[tid] = pc;
+
+            if (kind == K_LOCK_REL) {
+                /* a release may wake parked cores */
+                i64 li = lock_index(c, LK[pc - 1]);
+                for (int w = 0; w < n; w++)
+                    if (c->st[w] == 1 && c->parked_on[w] == li) {
+                        c->st[w] = 0;
+                        c->key[w] = c->clock[w] > clock ? c->clock[w] : clock;
+                    }
+            }
+
+            dispatched++;
+            if (dispatched >= next_prune) {
+                next_prune = dispatched + c->prune_period;
+                double low = clock;
+                for (int i = 0; i < n; i++)
+                    if (c->st[i] != 2 && c->clock[i] < low) low = c->clock[i];
+                bw_prune(&c->accept, low);
+                bw_prune(&c->media, low);
+                bw_prune(&c->readbw, low);
+                bw_prune(&c->drambw, low);
+                Map *q = &c->queued;
+                for (i64 i = 0; i < q->cap; i++)
+                    if (q->st[i] == 1 && q->vals[i] <= low) {
+                        q->st[i] = 2; q->live--;
+                    }
+            }
+        }
+    }
+
+    /* ---- output ----------------------------------------------------- */
+    for (int i = 0; i < n; i++) {
+        i64 *dyn = c->dyn + (i64)i * OUT_STRIDE;
+        out[i * OUT_STRIDE + O_CYCLES] = llrint(c->clock[i]);
+        for (int j = 1; j < OUT_STRIDE; j++)
+            out[i * OUT_STRIDE + j] = dyn[j];
+    }
+    ctx_free(c);
+    return RC_OK;
+
+fail:
+    ctx_free(c);
+    return rc;
+}

@@ -10,6 +10,7 @@ acquisition that is not yet its turn is parked and woken by the release.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Dict, List, Optional, Type
 
 from repro.core.ops import OpKind, Program
@@ -27,6 +28,19 @@ from repro.sim.durability import CrashState, DurabilityTracker
 from repro.sim.engine import InOrderQueue
 from repro.sim.memory import DRAMController, PMController
 from repro.sim.stats import CoreStats, MachineStats
+
+#: dispatched-op period of the resource-pruning sweep.  Every core's
+#: future reservation times are bounded below by its local clock, so
+#: once per period the machine forgets bandwidth windows and queued-line
+#: entries below the minimum clock of all live cores — long runs hold a
+#: working set instead of the whole timeline.  Crash-instrumented runs
+#: never prune (the snapshot queries occupancy at an earlier cycle).
+PRUNE_PERIOD = 4096
+
+#: environment variable: set to any non-empty value to force the
+#: reference per-op engine even for uninstrumented runs (debugging and
+#: the fast-vs-reference identity property test).
+REFERENCE_ENGINE_ENV = "REPRO_SIM_REFERENCE"
 
 #: registry of the hardware designs compared in Figure 7.
 DESIGNS: Dict[str, Type[PersistDomain]] = {
@@ -103,19 +117,52 @@ class Machine:
 
                 media_faults = MediaFaultModel(media_cfg)
         profiler = self.profiler
+
+        # Uninstrumented runs first try the native replay core — a C port
+        # of the compiled fast path loaded via ctypes (repro.sim.cnative).
+        # It owns all simulator state itself, so on success the Python
+        # hierarchy/controller/domain objects are never built.  Any
+        # decline (no compiler, REPRO_SIM_NO_C, replay deadlock, a shape
+        # the core doesn't model) falls through to the Python engines,
+        # which reproduce the exact result or exception.
+        if (
+            fault_plan is None
+            and media_faults is None
+            and not tracer.enabled
+            and not profiler.enabled
+            and not os.environ.get(REFERENCE_ENGINE_ENV)
+        ):
+            from repro.sim import cnative
+
+            per_core = cnative.run_native(
+                self.design, program, self.cfg, warm, PRUNE_PERIOD
+            )
+            if per_core is not None:
+                stats = MachineStats(design=self.design)
+                stats.per_core.extend(per_core)
+                return stats
+
         pm = PMController(self.cfg.pm, tracer, faults=media_faults,
                           profiler=profiler)
         dram = DRAMController()
         hierarchy = CacheHierarchy(self.cfg, pm, dram)
         hierarchy.profiler = profiler
         if warm:
-            touched = set()
-            for trace in program.threads:
-                for op in trace.ops:
-                    if op.kind in (OpKind.STORE, OpKind.LOAD, OpKind.CLWB,
-                                   OpKind.VSTORE, OpKind.VLOAD):
-                        touched.add(op.addr // 64)
-            hierarchy.warm(sorted(touched))
+            # The touched-line set is a pure function of the (immutable)
+            # program; cache it so replays of one program across designs
+            # and machine configs don't rescan every op.
+            touched_sorted = getattr(program, "_touched_lines", None)
+            if touched_sorted is None:
+                touched = set()
+                addressed = (OpKind.STORE, OpKind.LOAD, OpKind.CLWB,
+                             OpKind.VSTORE, OpKind.VLOAD)
+                for trace in program.threads:
+                    for op in trace.ops:
+                        if op.kind in addressed:
+                            touched.add(op.addr // 64)
+                touched_sorted = sorted(touched)
+                program._touched_lines = touched_sorted
+            hierarchy.warm(touched_sorted)
         locks = LockTable(program.lock_order)
         domain_cls = DESIGNS[self.design]
 
@@ -126,6 +173,18 @@ class Machine:
             # Natural dirty evictions reach PM too; record them so the
             # durable frontier reflects everything the ADR domain holds.
             hierarchy.durability = tracker
+
+        # The compiled fast path replays uninstrumented runs bit-identically
+        # an order of magnitude faster (see repro.sim.fastcore).  Any
+        # observer that hooks the per-op path — tracer, profiler, crash
+        # plan, media faults — falls back to the reference engine.
+        use_fast = (
+            tracker is None
+            and media_faults is None
+            and not tracer.enabled
+            and not profiler.enabled
+            and not os.environ.get(REFERENCE_ENGINE_ENV)
+        )
 
         cores: List[CoreEngine] = []
         domains: List[PersistDomain] = []
@@ -144,11 +203,25 @@ class Machine:
                 tracer=tracer, profiler=profiler, **kwargs,
             )
             domains.append(domain)
-            cores.append(
-                CoreEngine(
-                    trace, self.cfg, hierarchy, domain, core_stats, locks, tracer
+            if not use_fast:
+                cores.append(
+                    CoreEngine(
+                        trace, self.cfg, hierarchy, domain, core_stats, locks,
+                        tracer
+                    )
                 )
-            )
+
+        if use_fast:
+            from repro.sim.fastcore import FastDeadlock, run_fast
+
+            try:
+                run_fast(
+                    self.design, program, self.cfg, hierarchy, domains,
+                    stats.per_core, locks, pm, dram, PRUNE_PERIOD,
+                )
+            except FastDeadlock as exc:
+                raise SimulationDeadlock(str(exc)) from None
+            return stats
 
         # Min-clock stepping with lock parking.
         ready = [(core.clock, core.tid) for core in cores if not core.finished]
@@ -193,6 +266,16 @@ class Machine:
                     heapq.heappush(ready, (max(waiter.clock, core.clock), waiter.tid))
             if not core.finished:
                 heapq.heappush(ready, (core.clock, core.tid))
+            if tracker is None and dispatched % PRUNE_PERIOD == 0:
+                # Low-water mark over *actual* clocks, not heap keys: a
+                # woken core's key is max(its clock, releaser clock) and
+                # may exceed the clock it will resume stepping from.
+                low = min(
+                    (c.clock for c in cores if not c.finished),
+                    default=core.clock,
+                )
+                pm.prune(low)
+                dram.prune(low)
 
         if tracker is not None:
             if crash_cycle is None:

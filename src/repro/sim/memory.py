@@ -193,6 +193,25 @@ class PMController:
             ).inc()
         return media_start, media_done
 
+    def prune(self, low_water: float) -> None:
+        """Drop accounting that no future request can observe.
+
+        Safe only when every later ``write``/``read`` arrives at or
+        after ``low_water`` (the machine passes the minimum of all core
+        clocks): bandwidth windows below the mark are unreachable, and a
+        queued line whose media write started at or before the mark can
+        never satisfy the coalescing test ``pending > grant`` again.
+        Callers needing crash-state occupancy must not prune (the crash
+        snapshot queries ``write_queue_depth`` at an earlier cycle).
+        """
+        self._accept.prune(low_water)
+        self._media.prune(low_water)
+        self._read_bw.prune(low_water)
+        queued = self._queued_line
+        stale = [line for line, start in queued.items() if start <= low_water]
+        for line in stale:
+            del queued[line]
+
     def write_queue_depth(self, t: float) -> int:
         """Lines sitting in the write queue at ``t`` — accepted into the
         ADR domain but not yet started on the media (crash-state
@@ -233,3 +252,7 @@ class DRAMController:
     def access(self, t: float) -> float:
         self.accesses += 1
         return self._bw.reserve(t) + self.latency
+
+    def prune(self, low_water: float) -> None:
+        """See :meth:`PMController.prune`."""
+        self._bw.prune(low_water)

@@ -180,3 +180,48 @@ def generate_for_design(
     dialect = dialect_for_design(design)
     model = make_model(model_name, **model_kwargs)
     return generate(workload_cls, cfg, dialect, model)
+
+
+def generate_canonical(
+    workload_cls: Type[Workload],
+    cfg: WorkloadConfig,
+    model_name: str = "txn",
+    **model_kwargs,
+) -> GeneratedRun:
+    """Run the workload once under the marker dialect.
+
+    The result is dialect-neutral: its program carries tagged placeholder
+    fences at every ordering point and can be rewritten for any concrete
+    dialect with :func:`specialize_run` — the functional image, lock
+    order, and every addressed op are identical for all dialects, so the
+    (expensive) functional execution happens once instead of once per
+    design.  See :mod:`repro.lang.specialize`.
+    """
+    from repro.lang.specialize import MarkerDialect
+
+    model = make_model(model_name, **model_kwargs)
+    return generate(workload_cls, cfg, MarkerDialect(), model)
+
+
+def specialize_run(canonical: GeneratedRun, design: str) -> GeneratedRun:
+    """Derive the run a direct ``generate_for_design`` call would produce.
+
+    The specialized program is op-for-op identical to direct generation
+    (pinned by ``tests/sim/test_fastcore_identity.py``); the functional
+    artefacts (workload, space, layout, runtime) are *shared* with the
+    canonical run — they are read-only after generation and identical
+    across dialects.
+    """
+    from repro.lang.specialize import specialize
+
+    dialect = dialect_for_design(design)
+    return GeneratedRun(
+        workload=canonical.workload,
+        config=canonical.config,
+        dialect=dialect,
+        model=canonical.model,
+        space=canonical.space,
+        layout=canonical.layout,
+        runtime=canonical.runtime,
+        program=specialize(canonical.program, dialect.name),
+    )
